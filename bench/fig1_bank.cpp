@@ -1,0 +1,18 @@
+// Figures 1c/1d: Bank throughput and abort rate.
+#include "bench/figure_common.hpp"
+#include "workloads/bank.hpp"
+
+int main(int argc, char** argv) {
+  using namespace semstm;
+  Cli cli(argc, argv);
+  bench::FigureSpec spec;
+  spec.name = "Figure 1c/1d: Bank (RSTM path)";
+  spec.metric = "throughput";
+  spec.threads = {1, 2, 4, 8, 12, 16, 20, 24};
+  spec.ops_per_thread = 600;
+  bench::apply_cli(spec, cli);
+  bench::run_figure(spec, [](bool semantic) {
+    return std::make_unique<BankWorkload>(BankWorkload::Params{}, semantic);
+  });
+  return 0;
+}

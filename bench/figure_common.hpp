@@ -1,0 +1,157 @@
+// Shared harness for the Figure 1 / Figure 2 reproductions.
+//
+// Each figure bench sweeps thread counts for the four algorithms the paper
+// plots (NOrec, S-NOrec, TL2, S-TL2; Figure 2 uses a NOrec-Modified-GCC
+// configuration instead of TL2), pairing base workload builds with base
+// algorithms and semantic builds with semantic algorithms, exactly as the
+// paper's RSTM experiments do. Output is one CSV block per panel:
+// throughput (or completion time) and abort rate — the same series the
+// paper plots.
+//
+// Execution defaults to the deterministic virtual scheduler (see
+// DESIGN.md: the host has one core); pass --real for std::thread runs.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "workloads/driver.hpp"
+
+namespace semstm::bench {
+
+struct AlgoConfig {
+  std::string algo;      ///< TM algorithm name
+  bool semantic_build;   ///< build the workload with semantic constructs?
+  std::string label;     ///< series label in the output
+};
+
+struct FigureSpec {
+  std::string name;                  // e.g. "Figure 1a/1b: Hashtable"
+  std::string metric;                // "throughput" or "time"
+  std::vector<unsigned> threads;
+  std::uint64_t ops_per_thread = 1000;
+  bool fixed_total_work = false;     // divide total ops across threads
+  std::uint64_t seed = 0x5EED;
+  ExecMode mode = ExecMode::kSim;
+  std::uint64_t sim_quantum = 24;  // amortize fiber switches (see SimOptions)
+  std::vector<AlgoConfig> series = {
+      {"norec", false, "NOrec"},
+      {"snorec", true, "S-NOrec"},
+      {"tl2", false, "TL2"},
+      {"stl2", true, "S-TL2"},
+  };
+};
+
+using WorkloadFactory = std::function<std::unique_ptr<Workload>(bool semantic)>;
+
+inline void apply_cli(FigureSpec& spec, const Cli& cli) {
+  spec.threads = cli.get_list("threads", spec.threads);
+  spec.ops_per_thread = static_cast<std::uint64_t>(
+      cli.get_int("ops", static_cast<std::int64_t>(spec.ops_per_thread)));
+  spec.seed = static_cast<std::uint64_t>(
+      cli.get_int("seed", static_cast<std::int64_t>(spec.seed)));
+  if (cli.has("real")) spec.mode = ExecMode::kReal;
+  spec.sim_quantum = static_cast<std::uint64_t>(
+      cli.get_int("quantum", static_cast<std::int64_t>(spec.sim_quantum)));
+}
+
+struct SeriesPoint {
+  double metric_value;  // throughput (commits/Mtick) or time (Mticks)
+  double abort_pct;
+};
+
+inline void run_figure(const FigureSpec& spec, const WorkloadFactory& make) {
+  std::printf("# %s\n", spec.name.c_str());
+  std::printf("# mode=%s ops_per_thread=%llu%s\n",
+              spec.mode == ExecMode::kSim ? "sim" : "real",
+              static_cast<unsigned long long>(spec.ops_per_thread),
+              spec.fixed_total_work ? " (fixed total work)" : "");
+
+  std::vector<std::vector<SeriesPoint>> table(
+      spec.series.size(), std::vector<SeriesPoint>(spec.threads.size()));
+
+  for (std::size_t s = 0; s < spec.series.size(); ++s) {
+    for (std::size_t t = 0; t < spec.threads.size(); ++t) {
+      const unsigned threads = spec.threads[t];
+      RunConfig cfg;
+      cfg.algo = spec.series[s].algo;
+      cfg.threads = threads;
+      cfg.mode = spec.mode;
+      cfg.ops_per_thread = spec.fixed_total_work
+                               ? spec.ops_per_thread / threads
+                               : spec.ops_per_thread;
+      cfg.seed = spec.seed;
+      cfg.sim_quantum = spec.sim_quantum;
+      auto w = make(spec.series[s].semantic_build);
+      const RunResult r = run_workload(cfg, *w);
+      w->verify();
+      SeriesPoint& p = table[s][t];
+      p.abort_pct = r.abort_pct;
+      if (spec.metric == "time") {
+        // Completion time of the fixed total work, in mega-ticks (sim) or
+        // seconds (real) — lower is better, like the paper's STAMP plots.
+        p.metric_value = spec.mode == ExecMode::kSim
+                             ? static_cast<double>(r.makespan) / 1e6
+                             : r.wall_seconds;
+      } else {
+        p.metric_value = r.throughput;
+      }
+    }
+  }
+
+  const char* unit = spec.metric == "time"
+                         ? (spec.mode == ExecMode::kSim ? "Mticks" : "sec")
+                         : (spec.mode == ExecMode::kSim ? "commits/Mtick"
+                                                        : "commits/sec");
+
+  std::printf("\n## %s (%s)\n", spec.metric.c_str(), unit);
+  std::printf("threads");
+  for (const auto& s : spec.series) std::printf(",%s", s.label.c_str());
+  std::printf("\n");
+  for (std::size_t t = 0; t < spec.threads.size(); ++t) {
+    std::printf("%u", spec.threads[t]);
+    for (std::size_t s = 0; s < spec.series.size(); ++s) {
+      std::printf(",%.3f", table[s][t].metric_value);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n## abort rate (%%)\n");
+  std::printf("threads");
+  for (const auto& s : spec.series) std::printf(",%s", s.label.c_str());
+  std::printf("\n");
+  for (std::size_t t = 0; t < spec.threads.size(); ++t) {
+    std::printf("%u", spec.threads[t]);
+    for (std::size_t s = 0; s < spec.series.size(); ++s) {
+      std::printf(",%.2f", table[s][t].abort_pct);
+    }
+    std::printf("\n");
+  }
+
+  // Headline ratios (paper: "up to 4x, average 1.6x"): semantic vs base,
+  // same family, best thread count.
+  auto best = [&](std::size_t s) {
+    double v = table[s][0].metric_value;
+    for (const auto& p : table[s]) {
+      v = spec.metric == "time" ? std::min(v, p.metric_value)
+                                : std::max(v, p.metric_value);
+    }
+    return v;
+  };
+  for (std::size_t s = 0; s + 1 < spec.series.size(); s += 2) {
+    const double base = best(s);
+    const double sem = best(s + 1);
+    const double speedup =
+        spec.metric == "time" ? base / sem : sem / base;
+    std::printf("\n# peak %s/%s speedup: %.2fx\n",
+                spec.series[s + 1].label.c_str(), spec.series[s].label.c_str(),
+                speedup);
+  }
+  std::printf("\n");
+}
+
+}  // namespace semstm::bench

@@ -1,0 +1,143 @@
+// Micro-benchmarks (google-benchmark): single-threaded latencies of the
+// TM constructs per algorithm, and validation cost as a function of
+// read-set size — the raw numbers behind the paper's overhead discussion
+// (§4: "no considerable overhead of S-NOrec over NOrec"; S-TL2's
+// compare-set validation "linear with respect to the size of the
+// compare-set itself").
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "containers/tarray.hpp"
+#include "semstm.hpp"
+
+namespace {
+
+using namespace semstm;
+
+const char* algo_of(int idx) {
+  static const char* names[] = {"cgl", "norec", "snorec", "tl2", "stl2"};
+  return names[idx];
+}
+
+struct Bound {
+  std::unique_ptr<Algorithm> algo;
+  std::unique_ptr<ThreadCtx> ctx;
+  std::unique_ptr<CtxBinder> bind;
+
+  explicit Bound(const std::string& name)
+      : algo(make_algorithm(name)),
+        ctx(std::make_unique<ThreadCtx>(algo->make_tx())),
+        bind(std::make_unique<CtxBinder>(*ctx)) {}
+};
+
+void BM_ReadTx(benchmark::State& state) {
+  Bound b(algo_of(static_cast<int>(state.range(0))));
+  TVar<long> x(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(atomically([&](Tx& tx) { return x.get(tx); }));
+  }
+  state.SetLabel(b.algo->name());
+}
+BENCHMARK(BM_ReadTx)->DenseRange(0, 4);
+
+void BM_WriteTx(benchmark::State& state) {
+  Bound b(algo_of(static_cast<int>(state.range(0))));
+  TVar<long> x(0);
+  long v = 0;
+  for (auto _ : state) {
+    atomically([&](Tx& tx) { x.set(tx, ++v); });
+  }
+  state.SetLabel(b.algo->name());
+}
+BENCHMARK(BM_WriteTx)->DenseRange(0, 4);
+
+void BM_CompareTx(benchmark::State& state) {
+  Bound b(algo_of(static_cast<int>(state.range(0))));
+  TVar<long> x(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(atomically([&](Tx& tx) { return x.gt(tx, 0); }));
+  }
+  state.SetLabel(b.algo->name());
+}
+BENCHMARK(BM_CompareTx)->DenseRange(0, 4);
+
+void BM_IncrementTx(benchmark::State& state) {
+  Bound b(algo_of(static_cast<int>(state.range(0))));
+  TVar<long> x(0);
+  for (auto _ : state) {
+    atomically([&](Tx& tx) { x.add(tx, 1); });
+  }
+  state.SetLabel(b.algo->name());
+}
+BENCHMARK(BM_IncrementTx)->DenseRange(0, 4);
+
+/// Cost of a writer commit as the read-set grows: NOrec-family validation
+/// is linear in the read-set, TL2-family in the orec read-set.
+template <int AlgoIdx>
+void BM_CommitVsReadSetSize(benchmark::State& state) {
+  Bound b(algo_of(AlgoIdx));
+  const auto n = static_cast<std::size_t>(state.range(0));
+  TArray<long> vars(n, 1);
+  TVar<long> sink(0);
+  for (auto _ : state) {
+    atomically([&](Tx& tx) {
+      long acc = 0;
+      for (std::size_t i = 0; i < n; ++i) acc += vars[i].get(tx);
+      sink.set(tx, acc);  // writer: forces commit-time work
+    });
+  }
+  state.SetLabel(b.algo->name());
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CommitVsReadSetSize<1>)->RangeMultiplier(4)->Range(4, 1024)
+    ->Complexity(benchmark::oN);
+BENCHMARK(BM_CommitVsReadSetSize<3>)->RangeMultiplier(4)->Range(4, 1024)
+    ->Complexity(benchmark::oN);
+
+/// Compare-set semantic validation cost (S-variants) vs clause size.
+template <int AlgoIdx>
+void BM_CompareSetValidation(benchmark::State& state) {
+  Bound b(algo_of(AlgoIdx));
+  const auto n = static_cast<std::size_t>(state.range(0));
+  TArray<long> vars(n, 5);
+  TVar<long> sink(0);
+  for (auto _ : state) {
+    atomically([&](Tx& tx) {
+      for (std::size_t i = 0; i < n; ++i) {
+        benchmark::DoNotOptimize(vars[i].gt(tx, 0));
+      }
+      sink.set(tx, 1);
+    });
+  }
+  state.SetLabel(b.algo->name());
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CompareSetValidation<2>)->RangeMultiplier(4)->Range(4, 1024)
+    ->Complexity(benchmark::oN);
+BENCHMARK(BM_CompareSetValidation<4>)->RangeMultiplier(4)->Range(4, 1024)
+    ->Complexity(benchmark::oN);
+
+/// Write-set lookup (read-after-write) cost as the write-set grows.
+void BM_WriteSetLookup(benchmark::State& state) {
+  Bound b("snorec");
+  const auto n = static_cast<std::size_t>(state.range(0));
+  TArray<long> vars(n, 0);
+  for (auto _ : state) {
+    atomically([&](Tx& tx) {
+      for (std::size_t i = 0; i < n; ++i) vars[i].set(tx, 1);
+      long acc = 0;
+      for (std::size_t i = 0; i < n; ++i) acc += vars[i].get(tx);  // RAW hits
+      benchmark::DoNotOptimize(acc);
+    });
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_WriteSetLookup)->RangeMultiplier(4)->Range(4, 1024)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// CGL: coarse-grained single-global-lock "transactions".
+//
+// Every transaction runs under one test-and-set spinlock, so it never
+// aborts due to conflicts and is trivially opaque. Writes are buffered and
+// applied at commit (lazy versioning) so that CGL honours the same
+// rollback contract as the optimistic algorithms — this is what makes it
+// usable as the correctness oracle in the test suite, and the serial
+// baseline in benchmarks.
+//
+// The lock spins through sched::spin_pause() — mandatory for the fiber
+// simulator, where an OS-blocking mutex would deadlock the single carrier
+// thread.
+#pragma once
+
+#include <atomic>
+
+#include "core/algorithm.hpp"
+#include "core/tx.hpp"
+#include "runtime/writeset.hpp"
+#include "sched/yieldpoint.hpp"
+#include "util/padded.hpp"
+
+namespace semstm {
+
+class CglAlgorithm final : public Algorithm {
+ public:
+  const char* name() const noexcept override { return "cgl"; }
+  bool semantic() const noexcept override { return false; }
+  std::unique_ptr<Tx> make_tx() override;
+
+  void lock() noexcept {
+    while (flag_.value.exchange(true, std::memory_order_acquire)) {
+      while (flag_.value.load(std::memory_order_relaxed)) sched::spin_pause();
+    }
+  }
+  void unlock() noexcept { flag_.value.store(false, std::memory_order_release); }
+
+ private:
+  Padded<std::atomic<bool>> flag_{};
+};
+
+class CglTx final : public Tx {
+ public:
+  explicit CglTx(CglAlgorithm& shared) : shared_(shared) {}
+  ~CglTx() override {
+    if (holding_) shared_.unlock();
+  }
+
+  const char* algorithm() const noexcept override { return "cgl"; }
+
+  void begin() override {
+    writes_.clear();
+    shared_.lock();
+    holding_ = true;
+  }
+
+  void commit() override {
+    sched::tick(sched::Cost::kCommit);
+    for (const WriteEntry& e : writes_) {
+      e.addr->store(e.value, std::memory_order_relaxed);
+    }
+    writes_.clear();
+    release();
+  }
+
+  void rollback() override {
+    writes_.clear();
+    release();
+  }
+
+  word_t read(const tword* addr) override {
+    sched::tick(sched::Cost::kRead);
+    ++stats.reads;
+    if (const WriteEntry* e = writes_.find(addr)) return e->value;
+    return addr->load(std::memory_order_relaxed);
+  }
+
+  void write(tword* addr, word_t value) override {
+    sched::tick(sched::Cost::kWrite);
+    ++stats.writes;
+    writes_.put_write(addr, value);
+  }
+
+ private:
+  void release() noexcept {
+    if (holding_) {
+      shared_.unlock();
+      holding_ = false;
+    }
+  }
+
+  CglAlgorithm& shared_;
+  WriteSet writes_;
+  bool holding_ = false;
+};
+
+inline std::unique_ptr<Tx> CglAlgorithm::make_tx() {
+  return std::make_unique<CglTx>(*this);
+}
+
+}  // namespace semstm

@@ -1,0 +1,129 @@
+// NOrec [Dalessandro, Spear, Scott — PPoPP 2010]: value-based validation,
+// no ownership records, commit phases serialized by one global
+// timestamped lock (SeqLock).
+//
+// This is the paper's value-based baseline. Semantic operations (cmp/inc)
+// fall through to Tx's default read/write delegation — i.e. NOrec treats
+// them conservatively, exactly like the unmodified algorithm in libitm.
+#pragma once
+
+#include <memory>
+
+#include "core/algorithm.hpp"
+#include "core/tx.hpp"
+#include "runtime/global_clock.hpp"
+#include "runtime/readset.hpp"
+#include "runtime/writeset.hpp"
+#include "sched/yieldpoint.hpp"
+
+namespace semstm {
+
+class NorecAlgorithm : public Algorithm {
+ public:
+  const char* name() const noexcept override { return "norec"; }
+  bool semantic() const noexcept override { return false; }
+  std::unique_ptr<Tx> make_tx() override;
+
+  SeqLock& lock() noexcept { return lock_; }
+
+ private:
+  SeqLock lock_;
+};
+
+class NorecTx : public Tx {
+ public:
+  explicit NorecTx(NorecAlgorithm& shared) : shared_(shared) {}
+
+  const char* algorithm() const noexcept override { return "norec"; }
+
+  void begin() override {
+    reads_.clear();
+    writes_.clear();
+    snapshot_ = shared_.lock().sample_even();  // Alg. 6 Start (lines 24-28)
+  }
+
+  word_t read(const tword* addr) override {
+    sched::tick(sched::Cost::kRead);
+    ++stats.reads;
+    if (WriteEntry* e = writes_.find(addr)) return raw(addr, e);
+    const word_t v = read_valid(addr);
+    reads_.append_value(addr, v);  // plain read recorded as semantic EQ
+    return v;
+  }
+
+  void write(tword* addr, word_t value) override {
+    sched::tick(sched::Cost::kWrite);
+    ++stats.writes;
+    writes_.put_write(addr, value);
+  }
+
+  void commit() override {
+    sched::tick(sched::Cost::kCommit);
+    if (writes_.empty()) {  // read-only: already consistent at snapshot_
+      finish();
+      return;
+    }
+    while (!shared_.lock().try_lock(snapshot_)) snapshot_ = validate();
+    // Exclusive: write back (increments resolve against current memory).
+    for (const WriteEntry& e : writes_) {
+      const word_t v = e.kind == WriteKind::kWrite
+                           ? e.value
+                           : e.addr->load(std::memory_order_relaxed) + e.value;
+      e.addr->store(v, std::memory_order_release);
+    }
+    shared_.lock().unlock(snapshot_ + 1);
+    finish();
+  }
+
+  void rollback() override { finish(); }
+
+ protected:
+  /// Read-after-write. Plain NOrec only ever holds kWrite entries (its inc
+  /// delegates to read+write); S-NOrec overrides to promote increments.
+  virtual word_t raw(const tword* addr, WriteEntry* e) {
+    (void)addr;
+    return e->value;
+  }
+
+  /// Alg. 6 ReadValid (lines 10-16): re-validate whenever the global
+  /// timestamp moved since our snapshot, then (re)read.
+  word_t read_valid(const tword* addr) {
+    word_t v = addr->load(std::memory_order_acquire);
+    while (snapshot_ != shared_.lock().load()) {
+      snapshot_ = validate();
+      v = addr->load(std::memory_order_acquire);
+    }
+    return v;
+  }
+
+  /// Alg. 6 Validate (lines 1-9): semantic validation of the read-set at a
+  /// stable (even) timestamp; aborts the transaction on failure.
+  std::uint64_t validate() {
+    for (;;) {
+      const std::uint64_t time = shared_.lock().sample_even();
+      ++stats.validations;
+      for (const ReadEntry& e : reads_) {
+        sched::tick(sched::Cost::kValidateEntry);
+        if (!e.holds()) abort_tx();
+      }
+      if (time == shared_.lock().load()) return time;
+      // A writer committed mid-validation; retry at the new timestamp.
+    }
+  }
+
+  void finish() noexcept {
+    reads_.clear();
+    writes_.clear();
+  }
+
+  NorecAlgorithm& shared_;
+  ReadSet reads_;
+  WriteSet writes_;
+  std::uint64_t snapshot_ = 0;
+};
+
+inline std::unique_ptr<Tx> NorecAlgorithm::make_tx() {
+  return std::make_unique<NorecTx>(*this);
+}
+
+}  // namespace semstm

@@ -1,0 +1,123 @@
+// S-NOrec (paper §4.1, Algorithm 6): NOrec extended with TM-friendly
+// semantics.
+//
+//  - cmp/cmp2 record the conditional expression (or its inverse when it
+//    evaluated false) in the read-set instead of the raw value; the shared
+//    Validate procedure then performs *semantic* validation, of which
+//    NOrec's value-based validation is the EQ special case.
+//  - inc stores a delta-flagged entry in the write-set and applies it at
+//    commit while the global lock is held.
+//  - Read-after-write over an increment entry *promotes* it to a
+//    conventional read + write (Alg. 6 lines 17-23).
+//
+// S-NOrec keeps NOrec's single commit-time serialization point, hence its
+// privatization/publication safety (paper §4.1).
+#pragma once
+
+#include "algos/norec.hpp"
+
+namespace semstm {
+
+class SnorecAlgorithm final : public NorecAlgorithm {
+ public:
+  const char* name() const noexcept override { return "snorec"; }
+  bool semantic() const noexcept override { return true; }
+  std::unique_ptr<Tx> make_tx() override;
+};
+
+class SnorecTx final : public NorecTx {
+ public:
+  explicit SnorecTx(SnorecAlgorithm& shared) : NorecTx(shared) {}
+
+  const char* algorithm() const noexcept override { return "snorec"; }
+
+  /// Alg. 6 Compare (lines 29-36).
+  bool cmp(const tword* addr, Rel rel, word_t operand) override {
+    sched::tick(sched::Cost::kCmp);
+    ++stats.compares;
+    if (WriteEntry* e = writes_.find(addr)) {
+      return eval(rel, raw(addr, e), operand);
+    }
+    const word_t v = read_valid(addr);
+    const bool result = eval(rel, v, operand);
+    reads_.append_cmp(addr, rel, operand, result);
+    return result;
+  }
+
+  /// Address–address compare (the paper's _ITM_S2R case; §3/§6). Both
+  /// words are read through ReadValid, so they belong to one consistent
+  /// snapshot; the recorded entry then revalidates the *relation*.
+  bool cmp2(const tword* a, Rel rel, const tword* b) override {
+    sched::tick(sched::Cost::kCmp);
+    ++stats.compares2;
+    WriteEntry* ea = writes_.find(a);
+    WriteEntry* eb = writes_.find(b);
+    if (ea != nullptr || eb != nullptr) {
+      // Any buffered side degrades to plain handling: buffered values are
+      // private, so only the non-buffered side needs (value) validation.
+      const word_t va = ea ? raw(a, ea) : read(a);
+      const word_t vb = eb ? raw(b, eb) : read(b);
+      return eval(rel, va, vb);
+    }
+    const word_t va = read_valid(a);
+    const word_t vb = read_valid(b);
+    const bool result = eval(rel, va, vb);
+    reads_.append_cmp2(a, rel, b, result);
+    return result;
+  }
+
+  /// Composed conditional (paper §3): all term operands are loaded at one
+  /// consistent snapshot, the OR is evaluated, and a single clause entry
+  /// joins the read-set — validated as a unit thereafter.
+  bool cmp_or(const CmpTerm* terms, std::size_t n) override {
+    sched::tick(sched::Cost::kCmp);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (writes_.find(terms[i].addr) != nullptr ||
+          (terms[i].rhs_addr != nullptr &&
+           writes_.find(terms[i].rhs_addr) != nullptr)) {
+        // Buffered operands are private: degrade to plain evaluation (the
+        // involved plain reads record value entries as usual).
+        return Tx::cmp_or(terms, n);
+      }
+    }
+    ++stats.compares;
+    bool outcome = false;
+    for (;;) {
+      if (snapshot_ != shared_.lock().load()) snapshot_ = validate();
+      outcome = false;
+      for (std::size_t i = 0; i < n && !outcome; ++i) {
+        outcome = terms[i].eval_now();
+      }
+      if (snapshot_ == shared_.lock().load()) break;  // consistent snapshot
+    }
+    reads_.append_clause(terms, n, outcome);
+    return outcome;
+  }
+
+  /// Alg. 6 Increment (lines 44-49): defer the delta to commit time.
+  void inc(tword* addr, word_t delta) override {
+    sched::tick(sched::Cost::kInc);
+    ++stats.increments;
+    writes_.put_inc(addr, delta);
+  }
+
+ protected:
+  /// Alg. 6 RAW (lines 17-23): reading an address with a pending increment
+  /// promotes the increment to a conventional read + write.
+  word_t raw(const tword* addr, WriteEntry* e) override {
+    if (e->kind == WriteKind::kIncrement) {
+      ++stats.promotions;
+      const word_t current = read_valid(addr);
+      reads_.append_value(addr, current);    // the read part of the promotion
+      e->value += current;                   // delta + observed value
+      e->kind = WriteKind::kWrite;
+    }
+    return e->value;
+  }
+};
+
+inline std::unique_ptr<Tx> SnorecAlgorithm::make_tx() {
+  return std::make_unique<SnorecTx>(*this);
+}
+
+}  // namespace semstm

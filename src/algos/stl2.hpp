@@ -1,0 +1,263 @@
+// S-TL2 (paper §4.2, Algorithm 7): TL2 extended with hybrid
+// version/semantic validation.
+//
+// Compares live in a dedicated *compare-set* (address + relation), while
+// plain reads keep TL2's orec-based read-set — two validators, one per
+// set. Execution is split into three phases:
+//
+//   Phase 1 (before the first plain read): cmp operations validate the
+//   compare-set and *extend* the transaction's start version, so semantic
+//   operations never force version aborts among themselves. A locked orec
+//   is waited out (bounded) rather than aborted on.
+//
+//   Phase 2 (after the first plain read): the snapshot is frozen; cmp
+//   behaves like a read w.r.t. version checks but still records a semantic
+//   entry, so commit-time validation can tolerate value changes that keep
+//   the relation's outcome.
+//
+//   Commit: write orecs locked, then the global timestamp is advanced with
+//   CAS (not fetch-add) after compare-set validation — the CAS failure
+//   loop re-validates, which is the serialization-point argument of §5.2.
+#pragma once
+
+#include <cstdint>
+
+#include "algos/tl2.hpp"
+#include "runtime/backoff.hpp"
+#include "runtime/readset.hpp"
+
+namespace semstm {
+
+class Stl2Algorithm final : public Tl2Algorithm {
+ public:
+  explicit Stl2Algorithm(const AlgoOptions& opts = {}) : Tl2Algorithm(opts) {}
+  const char* name() const noexcept override { return "stl2"; }
+  bool semantic() const noexcept override { return true; }
+  std::unique_ptr<Tx> make_tx() override;
+};
+
+class Stl2Tx final : public Tl2Tx {
+ public:
+  explicit Stl2Tx(Stl2Algorithm& shared) : Tl2Tx(shared) {}
+
+  const char* algorithm() const noexcept override { return "stl2"; }
+
+  void begin() override {
+    compares_.clear();
+    Tl2Tx::begin();
+  }
+
+  void rollback() override {
+    compares_.clear();
+    Tl2Tx::rollback();
+  }
+
+  /// Alg. 7 Compare (lines 4-36).
+  bool cmp(const tword* addr, Rel rel, word_t operand) override {
+    sched::tick(sched::Cost::kCmp);
+    ++stats.compares;
+    if (WriteEntry* e = writes_.find(addr)) {
+      return eval(rel, raw(addr, e), operand);
+    }
+    const word_t val = read_for_cmp(addr);
+    const bool result = eval(rel, val, operand);
+    compares_.append_cmp(addr, rel, operand, result);
+    if (phase1_pending_extend_) extend_start_version();
+    return result;
+  }
+
+  /// Address–address compare (paper §3 extension). Both loads go through
+  /// the phase-aware consistent read; the entry revalidates the relation.
+  bool cmp2(const tword* a, Rel rel, const tword* b) override {
+    sched::tick(sched::Cost::kCmp);
+    ++stats.compares2;
+    WriteEntry* ea = writes_.find(a);
+    WriteEntry* eb = writes_.find(b);
+    if (ea != nullptr || eb != nullptr) {
+      const word_t va = ea ? raw(a, ea) : read(a);
+      const word_t vb = eb ? raw(b, eb) : read(b);
+      return eval(rel, va, vb);
+    }
+    const word_t va = read_for_cmp(a);
+    const bool first_extend = phase1_pending_extend_;
+    const word_t vb = read_for_cmp(b);
+    const bool result = eval(rel, va, vb);
+    compares_.append_cmp2(a, rel, b, result);
+    if (first_extend || phase1_pending_extend_) extend_start_version();
+    return result;
+  }
+
+  /// Composed conditional (paper §3): every term operand is loaded through
+  /// the phase-aware consistent read, the clause joins the compare-set as
+  /// one entry, and phase 1 extends the snapshot if any load ran ahead.
+  bool cmp_or(const CmpTerm* terms, std::size_t n) override {
+    sched::tick(sched::Cost::kCmp);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (writes_.find(terms[i].addr) != nullptr ||
+          (terms[i].rhs_addr != nullptr &&
+           writes_.find(terms[i].rhs_addr) != nullptr)) {
+        return Tx::cmp_or(terms, n);  // buffered operands: plain evaluation
+      }
+    }
+    ++stats.compares;
+    bool outcome = false;
+    bool extend = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const word_t lhs = read_for_cmp(terms[i].addr);
+      extend = extend || phase1_pending_extend_;
+      word_t rhs = terms[i].operand;
+      if (terms[i].rhs_addr != nullptr) {
+        rhs = read_for_cmp(terms[i].rhs_addr);
+        extend = extend || phase1_pending_extend_;
+      }
+      outcome = outcome || eval(terms[i].rel, lhs, rhs);
+    }
+    compares_.append_clause(terms, n, outcome);
+    if (extend) {
+      phase1_pending_extend_ = true;
+      extend_start_version();
+    }
+    return outcome;
+  }
+
+  /// Deferred increment — identical write-set treatment to S-NOrec.
+  void inc(tword* addr, word_t delta) override {
+    sched::tick(sched::Cost::kInc);
+    ++stats.increments;
+    writes_.put_inc(addr, delta);
+  }
+
+  /// Alg. 7 Commit (lines 66-77).
+  void commit() override {
+    sched::tick(sched::Cost::kCommit);
+    if (writes_.empty()) {
+      compares_.clear();
+      finish();
+      return;
+    }
+    acquire_write_locks();
+    std::uint64_t time;
+    for (;;) {
+      time = shared_.clock().load();
+      // No waiting here: we hold write locks, and hold-and-wait across
+      // committers livelocks into timeout aborts. Fail fast instead —
+      // TL2's own ValidateReadSet makes the same choice.
+      if (time != start_version_ && !compare_set_holds(/*may_wait=*/false)) {
+        fail_locked();
+      }
+      if (shared_.clock().try_advance(time)) break;
+      // Another writer serialized between validation and CAS: its commit
+      // may flip a compare outcome, so validate again (lines 68-72).
+    }
+    const std::uint64_t wv = time + 1;
+    if (time != start_version_ && !readset_holds()) fail_locked();
+    write_back(wv);
+    compares_.clear();
+    finish();
+  }
+
+ protected:
+  /// RAW promotion: a buffered increment read back becomes a conventional
+  /// read + write (read part via the consistent orec-checked read).
+  word_t raw(const tword* addr, WriteEntry* e) override {
+    if (e->kind == WriteKind::kIncrement) {
+      ++stats.promotions;
+      const word_t current = read_shared(addr);  // appends orec to read-set
+      e->value += current;
+      e->kind = WriteKind::kWrite;
+    }
+    return e->value;
+  }
+
+ private:
+  /// Phase-aware consistent load for cmp operands. In phase 1 (empty
+  /// read-set) locked orecs and version changes are retried/waited, and a
+  /// successful load past start_version_ schedules a snapshot extension;
+  /// in phase 2 the TL2 read rules apply but *without* joining the
+  /// orec read-set (the semantic entry subsumes it).
+  word_t read_for_cmp(const tword* addr) {
+    phase1_pending_extend_ = false;
+    Orec& o = shared_.orecs().of(addr);
+    if (reads_.empty()) {  // Phase 1 (lines 10-25)
+      for (;;) {
+        const std::uint64_t v1 = o.version.load(std::memory_order_acquire);
+        if (o.locked_by_other(this)) {
+          // Wait until unlocked instead of aborting (lines 11-12).
+          if (!bounded_wait([&] { return !o.locked_by_other(this); })) {
+            abort_tx();  // starvation timeout (§4.2)
+          }
+          continue;
+        }
+        const word_t val = addr->load(std::memory_order_acquire);
+        if (o.locked_by_other(this)) continue;
+        const std::uint64_t v2 = o.version.load(std::memory_order_acquire);
+        if (v1 != v2) continue;  // concurrent version move: retry (line 16)
+        if (v1 > start_version_) phase1_pending_extend_ = true;
+        return val;
+      }
+    }
+    // Phase 2 (lines 26-34): frozen snapshot, TL2-style checks.
+    const std::uint64_t v1 = o.version.load(std::memory_order_acquire);
+    if (o.locked_by_other(this)) abort_tx();
+    const word_t val = addr->load(std::memory_order_acquire);
+    if (o.locked_by_other(this)) abort_tx();
+    const std::uint64_t v2 = o.version.load(std::memory_order_acquire);
+    if (v1 != v2 || v1 > start_version_) abort_tx();
+    return val;
+  }
+
+  /// Lines 19-25: validate the compare-set at a stable timestamp, then
+  /// adopt that timestamp as the new start version.
+  void extend_start_version() {
+    phase1_pending_extend_ = false;
+    for (;;) {
+      const std::uint64_t time = shared_.clock().load();
+      if (!compare_set_holds(/*may_wait=*/true)) abort_tx();
+      if (time == shared_.clock().load()) {
+        start_version_ = time;
+        return;
+      }
+      // A writer committed during validation: retry (line 23).
+    }
+  }
+
+  /// Alg. 7 ValidateCompareSet (lines 56-65) as a predicate: semantic
+  /// revalidation. A locked orec means a writer may be mid-write-back, so
+  /// the entry cannot be evaluated: wait it out (bounded, §4.2's timeout
+  /// mechanism) when we hold no locks ourselves, fail fast otherwise.
+  bool compare_set_holds(bool may_wait) {
+    ++stats.validations;
+    for (const ReadEntry& e : compares_) {
+      sched::tick(sched::Cost::kValidateEntry);
+      for (unsigned i = 0; i < e.count; ++i) {
+        if (!wait_unlocked(e.terms[i].addr, may_wait)) return false;
+        if (e.terms[i].rhs_addr != nullptr &&
+            !wait_unlocked(e.terms[i].rhs_addr, may_wait)) {
+          return false;
+        }
+      }
+      if (!e.holds()) return false;  // semantic validation (line 63-64)
+    }
+    return true;
+  }
+
+  /// False = the orec stayed locked by another committer and the caller
+  /// must treat the validation as failed.
+  bool wait_unlocked(const tword* addr, bool may_wait) {
+    Orec& o = shared_.orecs().of(addr);
+    if (!o.locked_by_other(this)) return true;
+    if (!may_wait) return false;
+    // Execution phase holds no locks, so a generous wait cannot deadlock;
+    // commit write-backs are short, making timeouts rare.
+    return bounded_wait([&] { return !o.locked_by_other(this); }, 512);
+  }
+
+  CompareSet compares_;
+  bool phase1_pending_extend_ = false;
+};
+
+inline std::unique_ptr<Tx> Stl2Algorithm::make_tx() {
+  return std::make_unique<Stl2Tx>(*this);
+}
+
+}  // namespace semstm

@@ -1,0 +1,164 @@
+// TL2 [Dice, Shalev, Shavit — DISC 2006]: version-based validation over a
+// table of ownership records, global version clock, commit-time locking.
+//
+// This is the paper's version-based baseline. As in the paper, semantic
+// operations delegate to plain reads/writes (Tx defaults).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/algorithm.hpp"
+#include "core/tx.hpp"
+#include "runtime/global_clock.hpp"
+#include "runtime/orec.hpp"
+#include "runtime/writeset.hpp"
+#include "sched/yieldpoint.hpp"
+
+namespace semstm {
+
+class Tl2Algorithm : public Algorithm {
+ public:
+  explicit Tl2Algorithm(const AlgoOptions& opts = {}) : orecs_(opts.orec_log2) {}
+
+  const char* name() const noexcept override { return "tl2"; }
+  bool semantic() const noexcept override { return false; }
+  std::unique_ptr<Tx> make_tx() override;
+
+  VersionClock& clock() noexcept { return clock_; }
+  OrecTable& orecs() noexcept { return orecs_; }
+
+ private:
+  VersionClock clock_;
+  OrecTable orecs_;
+};
+
+class Tl2Tx : public Tx {
+ public:
+  explicit Tl2Tx(Tl2Algorithm& shared) : shared_(shared) {}
+
+  const char* algorithm() const noexcept override { return "tl2"; }
+
+  void begin() override {
+    reads_.clear();
+    writes_.clear();
+    start_version_ = shared_.clock().load();
+  }
+
+  word_t read(const tword* addr) override {
+    sched::tick(sched::Cost::kRead);
+    ++stats.reads;
+    if (WriteEntry* e = writes_.find(addr)) return raw(addr, e);
+    return read_shared(addr);
+  }
+
+  void write(tword* addr, word_t value) override {
+    sched::tick(sched::Cost::kWrite);
+    ++stats.writes;
+    writes_.put_write(addr, value);
+  }
+
+  void commit() override {
+    sched::tick(sched::Cost::kCommit);
+    if (writes_.empty()) {  // read-only transactions commit for free
+      finish();
+      return;
+    }
+    acquire_write_locks();
+    const std::uint64_t wv = shared_.clock().fetch_increment();
+    // rv + 1 == wv means no writer serialized in between: skip validation.
+    if (wv != start_version_ + 1 && !readset_holds()) fail_locked();
+    write_back(wv);
+    finish();
+  }
+
+  void rollback() override {
+    release_locks();
+    finish();
+  }
+
+ protected:
+  /// Read-after-write hook (S-TL2 overrides to promote increments).
+  virtual word_t raw(const tword* addr, WriteEntry* e) {
+    (void)addr;
+    return e->value;
+  }
+
+  /// Consistent shared read (Alg. 7 lines 40-49): version/owner sandwich
+  /// around the value load, then record the orec in the read-set.
+  word_t read_shared(const tword* addr) {
+    Orec& o = shared_.orecs().of(addr);
+    const std::uint64_t v1 = o.version.load(std::memory_order_acquire);
+    if (o.locked_by_other(this)) abort_tx();
+    const word_t val = addr->load(std::memory_order_acquire);
+    if (o.locked_by_other(this)) abort_tx();
+    const std::uint64_t v2 = o.version.load(std::memory_order_acquire);
+    if (v1 != v2 || v1 > start_version_) abort_tx();
+    reads_.push_back(&o);
+    return val;
+  }
+
+  /// Alg. 7 ValidateReadSet semantics, as a predicate (commit must release
+  /// write locks before aborting).
+  bool readset_holds() {
+    ++stats.validations;
+    for (const Orec* o : reads_) {
+      sched::tick(sched::Cost::kValidateEntry);
+      if (o->locked_by_other(this) ||
+          o->version.load(std::memory_order_acquire) > start_version_) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void acquire_write_locks() {
+    for (const WriteEntry& e : writes_) {
+      Orec& o = shared_.orecs().of(e.addr);
+      if (o.owner.load(std::memory_order_relaxed) == this) continue;
+      if (!o.try_lock(this)) fail_locked();
+      locked_.push_back(&o);
+    }
+  }
+
+  /// Publish buffered effects: all values, then all orec versions, then
+  /// all unlocks — the ordering the reader sandwich relies on.
+  void write_back(std::uint64_t wv) {
+    for (const WriteEntry& e : writes_) {
+      const word_t v = e.kind == WriteKind::kWrite
+                           ? e.value
+                           : e.addr->load(std::memory_order_relaxed) + e.value;
+      e.addr->store(v, std::memory_order_release);
+    }
+    for (Orec* o : locked_) o->version.store(wv, std::memory_order_release);
+    release_locks();
+  }
+
+  [[noreturn]] void fail_locked() {
+    release_locks();
+    abort_tx();
+  }
+
+  void release_locks() noexcept {
+    for (Orec* o : locked_) o->unlock(this);
+    locked_.clear();
+  }
+
+  void finish() noexcept {
+    reads_.clear();
+    writes_.clear();
+  }
+
+  Tl2Algorithm& shared_;
+  std::vector<const Orec*> reads_;  ///< TL2 read-set: orecs only
+  WriteSet writes_;
+  std::vector<Orec*> locked_;
+  std::uint64_t start_version_ = 0;
+};
+
+inline std::unique_ptr<Tx> Tl2Algorithm::make_tx() {
+  return std::make_unique<Tl2Tx>(*this);
+}
+
+}  // namespace semstm

@@ -1,0 +1,36 @@
+// TArray<T>: a fixed-size array of transactional words.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+
+#include "core/tvar.hpp"
+
+namespace semstm {
+
+template <WordRepresentable T>
+class TArray {
+ public:
+  explicit TArray(std::size_t n, T init = T{})
+      : size_(n), slots_(std::make_unique<TVar<T>[]>(n)) {
+    for (std::size_t i = 0; i < n; ++i) slots_[i].unsafe_set(init);
+  }
+
+  std::size_t size() const noexcept { return size_; }
+
+  TVar<T>& operator[](std::size_t i) noexcept {
+    assert(i < size_);
+    return slots_[i];
+  }
+  const TVar<T>& operator[](std::size_t i) const noexcept {
+    assert(i < size_);
+    return slots_[i];
+  }
+
+ private:
+  std::size_t size_;
+  std::unique_ptr<TVar<T>[]> slots_;
+};
+
+}  // namespace semstm

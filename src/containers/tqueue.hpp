@@ -1,0 +1,74 @@
+// Transactional bounded array queue — the paper's Algorithm 3.
+//
+// The empty check of dequeue is `head == tail`. In semantic mode it is a
+// single address–address TM_EQ, and the head advance is a TM_INC, so a
+// dequeue commutes with a concurrent enqueue whenever the queue stays
+// non-empty — the concurrency the paper's queue example re-enables.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "containers/tarray.hpp"
+
+namespace semstm {
+
+class TQueue {
+ public:
+  using Value = std::int64_t;
+
+  TQueue(std::size_t capacity, bool use_semantics)
+      : capacity_(capacity), semantic_(use_semantics), items_(capacity, 0) {}
+
+  /// Enqueue; returns false when full.
+  bool enqueue(Tx& tx, Value v) {
+    // tail is written below, so the plain read is write-after-read — safe
+    // under every algorithm (§4.1).
+    const std::int64_t t = tail_.get(tx);
+    const bool full =
+        semantic_
+            ? !head_.gt(tx, t - static_cast<std::int64_t>(capacity_))
+            : head_.get(tx) <= t - static_cast<std::int64_t>(capacity_);
+    if (full) return false;
+    items_[static_cast<std::size_t>(t) % capacity_].set(tx, v);
+    if (semantic_) {
+      tail_.add(tx, 1);
+    } else {
+      tail_.set(tx, t + 1);
+    }
+    return true;
+  }
+
+  /// Dequeue (Algorithm 3); returns nullopt when empty.
+  std::optional<Value> dequeue(Tx& tx) {
+    if (semantic_) {
+      if (head_.eq(tx, tail_)) return std::nullopt;  // TM_EQ(head, tail)
+      const std::int64_t h = head_.get(tx);  // promoted below by TM_INC path
+      const Value item = items_[static_cast<std::size_t>(h) % capacity_].get(tx);
+      head_.add(tx, 1);  // TM_INC(head, 1)
+      return item;
+    }
+    const std::int64_t h = head_.get(tx);
+    if (h == tail_.get(tx)) return std::nullopt;
+    const Value item = items_[static_cast<std::size_t>(h) % capacity_].get(tx);
+    head_.set(tx, h + 1);
+    return item;
+  }
+
+  bool empty(Tx& tx) {
+    return semantic_ ? head_.eq(tx, tail_) : head_.get(tx) == tail_.get(tx);
+  }
+
+  std::int64_t unsafe_size() const {
+    return tail_.unsafe_get() - head_.unsafe_get();
+  }
+
+ private:
+  std::size_t capacity_;
+  bool semantic_;
+  TVar<std::int64_t> head_{0};
+  TVar<std::int64_t> tail_{0};
+  TArray<Value> items_;
+};
+
+}  // namespace semstm

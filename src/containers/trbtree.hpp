@@ -1,0 +1,284 @@
+// Transactional red-black tree map — the in-memory-database substrate of
+// the Vacation benchmark (STAMP keeps its reservation tables in RB-trees).
+//
+// Nodes live in a pre-allocated pool handed out by a non-transactional
+// bump allocator: a node claimed by a transaction that later aborts is
+// simply leaked back into the arena's dead space (standard STM practice —
+// safe memory reclamation is orthogonal to this paper). Removal is lazy
+// (a `present` flag) so the tree structure only ever grows, which keeps
+// rebalancing transactional logic identical to the sequential CLRS code.
+//
+// Key comparisons during descent are plain transactional reads by default,
+// matching STAMP's profile (the paper observes that most Vacation reads
+// are internal tree reads that its GCC pass does not transform). With
+// `semantic_descent` the lookup path instead uses TM_EQ/TM_GT compares —
+// the "semantic tree" extension explored in bench/ablation.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "core/tvar.hpp"
+
+namespace semstm {
+
+class TRbMap {
+ public:
+  using Key = std::int64_t;
+  using Value = std::int64_t;
+
+  explicit TRbMap(std::size_t pool_capacity, bool semantic_descent = false)
+      : capacity_(pool_capacity),
+        semantic_(semantic_descent),
+        pool_(std::make_unique<Node[]>(pool_capacity)) {}
+
+  /// Insert (or revive a lazily-deleted key). Returns false if the key was
+  /// already present.
+  bool insert(Tx& tx, Key key, Value value) {
+    Node* parent = nullptr;
+    Node* cur = root_.get(tx);
+    bool went_left = false;
+    while (cur != nullptr) {
+      const Key ck = cur->key.get(tx);  // structural: always a plain read
+      if (key == ck) {
+        if (cur->present.get(tx)) return false;
+        cur->present.set(tx, 1);
+        cur->value.set(tx, value);
+        return true;
+      }
+      parent = cur;
+      went_left = key < ck;
+      cur = went_left ? cur->left.get(tx) : cur->right.get(tx);
+    }
+
+    Node* z = allocate(key, value);
+    z->parent.set(tx, parent);
+    if (parent == nullptr) {
+      root_.set(tx, z);
+    } else if (went_left) {
+      parent->left.set(tx, z);
+    } else {
+      parent->right.set(tx, z);
+    }
+    insert_fixup(tx, z);
+    return true;
+  }
+
+  std::optional<Value> find(Tx& tx, Key key) {
+    Node* n = descend(tx, key);
+    if (n == nullptr || !n->present.get(tx)) return std::nullopt;
+    return n->value.get(tx);
+  }
+
+  bool contains(Tx& tx, Key key) { return find(tx, key).has_value(); }
+
+  /// Overwrite the value of an existing key; returns false if absent.
+  bool update(Tx& tx, Key key, Value value) {
+    Node* n = descend(tx, key);
+    if (n == nullptr || !n->present.get(tx)) return false;
+    n->value.set(tx, value);
+    return true;
+  }
+
+  /// Lazy removal; returns false if absent.
+  bool erase(Tx& tx, Key key) {
+    Node* n = descend(tx, key);
+    if (n == nullptr || !n->present.get(tx)) return false;
+    n->present.set(tx, 0);
+    return true;
+  }
+
+  /// Node handle access for workloads that pin a record and then operate
+  /// on its fields (Vacation reads/updates reservation attributes).
+  TVar<Value>* find_slot(Tx& tx, Key key) {
+    Node* n = descend(tx, key);
+    if (n == nullptr || !n->present.get(tx)) return nullptr;
+    return &n->value;
+  }
+
+  // -- Non-transactional helpers (setup / verification) ----------------------
+
+  std::size_t unsafe_count() const { return unsafe_count(root_.unsafe_get()); }
+
+  /// Checks BST order + red-black invariants; returns black height, or -1
+  /// on violation. For tests.
+  int unsafe_validate() const {
+    bool ok = true;
+    const int bh = check(root_.unsafe_get(), nullptr, nullptr, ok);
+    if (root_.unsafe_get() != nullptr &&
+        root_.unsafe_get()->color.unsafe_get() != kBlack) {
+      ok = false;
+    }
+    return ok ? bh : -1;
+  }
+
+  std::size_t pool_used() const {
+    return next_.load(std::memory_order_acquire);
+  }
+
+ private:
+  static constexpr std::int64_t kRed = 1;
+  static constexpr std::int64_t kBlack = 0;
+
+  struct Node {
+    TVar<Key> key;
+    TVar<Value> value;
+    TVar<Node*> left{nullptr};
+    TVar<Node*> right{nullptr};
+    TVar<Node*> parent{nullptr};
+    TVar<std::int64_t> color{kRed};
+    TVar<std::int64_t> present{1};
+  };
+
+  Node* allocate(Key key, Value value) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_acq_rel);
+    assert(i < capacity_ && "TRbMap node pool exhausted");
+    Node* n = &pool_[i];
+    n->key.unsafe_set(key);
+    n->value.unsafe_set(value);
+    n->left.unsafe_set(nullptr);
+    n->right.unsafe_set(nullptr);
+    n->parent.unsafe_set(nullptr);
+    n->color.unsafe_set(kRed);
+    n->present.unsafe_set(1);
+    return n;
+  }
+
+  Node* descend(Tx& tx, Key key) {
+    Node* cur = root_.get(tx);
+    if (semantic_) {
+      while (cur != nullptr) {
+        if (cur->key.eq(tx, key)) return cur;          // TM_EQ
+        cur = cur->key.gt(tx, key) ? cur->left.get(tx)  // TM_GT
+                                   : cur->right.get(tx);
+      }
+      return nullptr;
+    }
+    while (cur != nullptr) {
+      const Key ck = cur->key.get(tx);
+      if (key == ck) return cur;
+      cur = key < ck ? cur->left.get(tx) : cur->right.get(tx);
+    }
+    return nullptr;
+  }
+
+  void rotate_left(Tx& tx, Node* x) {
+    Node* y = x->right.get(tx);
+    Node* yl = y->left.get(tx);
+    x->right.set(tx, yl);
+    if (yl != nullptr) yl->parent.set(tx, x);
+    Node* xp = x->parent.get(tx);
+    y->parent.set(tx, xp);
+    if (xp == nullptr) {
+      root_.set(tx, y);
+    } else if (xp->left.get(tx) == x) {
+      xp->left.set(tx, y);
+    } else {
+      xp->right.set(tx, y);
+    }
+    y->left.set(tx, x);
+    x->parent.set(tx, y);
+  }
+
+  void rotate_right(Tx& tx, Node* x) {
+    Node* y = x->left.get(tx);
+    Node* yr = y->right.get(tx);
+    x->left.set(tx, yr);
+    if (yr != nullptr) yr->parent.set(tx, x);
+    Node* xp = x->parent.get(tx);
+    y->parent.set(tx, xp);
+    if (xp == nullptr) {
+      root_.set(tx, y);
+    } else if (xp->right.get(tx) == x) {
+      xp->right.set(tx, y);
+    } else {
+      xp->left.set(tx, y);
+    }
+    y->right.set(tx, x);
+    x->parent.set(tx, y);
+  }
+
+  void insert_fixup(Tx& tx, Node* z) {
+    while (true) {
+      Node* p = z->parent.get(tx);
+      if (p == nullptr || p->color.get(tx) == kBlack) break;
+      Node* g = p->parent.get(tx);  // exists: p is red, so not the root
+      if (g->left.get(tx) == p) {
+        Node* uncle = g->right.get(tx);
+        if (uncle != nullptr && uncle->color.get(tx) == kRed) {
+          p->color.set(tx, kBlack);
+          uncle->color.set(tx, kBlack);
+          g->color.set(tx, kRed);
+          z = g;
+        } else {
+          if (p->right.get(tx) == z) {
+            z = p;
+            rotate_left(tx, z);
+            p = z->parent.get(tx);
+            g = p->parent.get(tx);
+          }
+          p->color.set(tx, kBlack);
+          g->color.set(tx, kRed);
+          rotate_right(tx, g);
+        }
+      } else {
+        Node* uncle = g->left.get(tx);
+        if (uncle != nullptr && uncle->color.get(tx) == kRed) {
+          p->color.set(tx, kBlack);
+          uncle->color.set(tx, kBlack);
+          g->color.set(tx, kRed);
+          z = g;
+        } else {
+          if (p->left.get(tx) == z) {
+            z = p;
+            rotate_right(tx, z);
+            p = z->parent.get(tx);
+            g = p->parent.get(tx);
+          }
+          p->color.set(tx, kBlack);
+          g->color.set(tx, kRed);
+          rotate_left(tx, g);
+        }
+      }
+    }
+    Node* r = root_.get(tx);
+    if (r->color.get(tx) != kBlack) r->color.set(tx, kBlack);
+  }
+
+  std::size_t unsafe_count(const Node* n) const {
+    if (n == nullptr) return 0;
+    return (n->present.unsafe_get() ? 1 : 0) +
+           unsafe_count(n->left.unsafe_get()) +
+           unsafe_count(n->right.unsafe_get());
+  }
+
+  int check(const Node* n, const Key* lo, const Key* hi, bool& ok) const {
+    if (n == nullptr) return 1;
+    const Key k = n->key.unsafe_get();
+    if ((lo != nullptr && k <= *lo) || (hi != nullptr && k >= *hi)) ok = false;
+    const bool red = n->color.unsafe_get() == kRed;
+    const Node* l = n->left.unsafe_get();
+    const Node* r = n->right.unsafe_get();
+    if (red) {
+      if ((l != nullptr && l->color.unsafe_get() == kRed) ||
+          (r != nullptr && r->color.unsafe_get() == kRed)) {
+        ok = false;  // red node with red child
+      }
+    }
+    const int bl = check(l, lo, &k, ok);
+    const int br = check(r, &k, hi, ok);
+    if (bl != br) ok = false;  // unequal black heights
+    return bl + (red ? 0 : 1);
+  }
+
+  std::size_t capacity_;
+  bool semantic_;
+  std::unique_ptr<Node[]> pool_;
+  std::atomic<std::size_t> next_{0};
+  TVar<Node*> root_{nullptr};
+};
+
+}  // namespace semstm

@@ -1,0 +1,38 @@
+// Algorithm: the factory for transaction descriptors plus the shared state
+// they coordinate through (global clocks, orec tables, locks).
+//
+// One Algorithm instance corresponds to one "TM system" — an experiment
+// instantiates it once and calls make_tx() per worker thread.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/tx.hpp"
+
+namespace semstm {
+
+struct AlgoOptions {
+  unsigned orec_log2 = 16;  ///< orec table size for TL2-family algorithms
+};
+
+class Algorithm {
+ public:
+  virtual ~Algorithm() = default;
+  virtual const char* name() const noexcept = 0;
+  /// True for algorithms that handle cmp/inc semantically (S-NOrec, S-TL2).
+  virtual bool semantic() const noexcept = 0;
+  virtual std::unique_ptr<Tx> make_tx() = 0;
+};
+
+/// Create an algorithm by name: "cgl", "norec", "snorec", "tl2", "stl2".
+/// Throws std::invalid_argument for unknown names.
+std::unique_ptr<Algorithm> make_algorithm(std::string_view name,
+                                          const AlgoOptions& opts = {});
+
+/// All registered algorithm names, in canonical benchmark order.
+const std::vector<std::string>& algorithm_names();
+
+}  // namespace semstm

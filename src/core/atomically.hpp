@@ -1,0 +1,54 @@
+// atomically(): the TM_BEGIN / TM_END retry loop.
+//
+// Runs the user lambda against the bound thread context's transaction,
+// retrying with randomized exponential backoff on every TxAbort. User
+// exceptions roll the transaction back and propagate (lazy versioning
+// means no shared state was touched).
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+#include "core/context.hpp"
+#include "core/tx.hpp"
+#include "sched/yieldpoint.hpp"
+
+namespace semstm {
+
+template <typename F>
+decltype(auto) atomically(F&& body) {
+  ThreadCtx* ctx = tls_ctx();
+  assert(ctx != nullptr && ctx->tx != nullptr &&
+         "atomically() requires a bound ThreadCtx (see CtxBinder)");
+  Tx& tx = *ctx->tx;
+
+  for (;;) {
+    ++tx.stats.starts;
+    try {
+      sched::tick(sched::Cost::kBegin);
+      tx.begin();
+      if constexpr (std::is_void_v<std::invoke_result_t<F&, Tx&>>) {
+        body(tx);
+        tx.commit();
+        ++tx.stats.commits;
+        ctx->backoff.reset();
+        return;
+      } else {
+        auto result = body(tx);
+        tx.commit();
+        ++tx.stats.commits;
+        ctx->backoff.reset();
+        return result;
+      }
+    } catch (const TxAbort&) {
+      tx.rollback();
+      ++tx.stats.aborts;
+      ctx->backoff.pause();
+    } catch (...) {
+      tx.rollback();
+      throw;
+    }
+  }
+}
+
+}  // namespace semstm

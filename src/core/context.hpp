@@ -1,0 +1,50 @@
+// Per-logical-thread execution context.
+//
+// The context holds the thread's transaction descriptor and contention
+// manager. It is reached through a thread_local *pointer slot* rather than
+// a thread_local object so the fiber scheduler can re-point it on every
+// fiber switch (all fibers share one OS thread, but each logical thread
+// must own a private descriptor).
+#pragma once
+
+#include <cassert>
+#include <memory>
+
+#include "core/tx.hpp"
+#include "runtime/backoff.hpp"
+
+namespace semstm {
+
+struct ThreadCtx {
+  std::unique_ptr<Tx> tx;
+  Backoff backoff;
+
+  explicit ThreadCtx(std::unique_ptr<Tx> t, std::uint64_t backoff_seed = 0xB0FF)
+      : tx(std::move(t)), backoff(backoff_seed) {}
+};
+
+/// The current thread's (or fiber's) context slot.
+inline ThreadCtx*& tls_ctx() noexcept {
+  thread_local ThreadCtx* ctx = nullptr;
+  return ctx;
+}
+
+/// RAII binder used by workers and tests.
+class CtxBinder {
+ public:
+  explicit CtxBinder(ThreadCtx& ctx) : prev_(tls_ctx()) { tls_ctx() = &ctx; }
+  ~CtxBinder() { tls_ctx() = prev_; }
+  CtxBinder(const CtxBinder&) = delete;
+  CtxBinder& operator=(const CtxBinder&) = delete;
+
+ private:
+  ThreadCtx* prev_;
+};
+
+inline Tx& current_tx() noexcept {
+  ThreadCtx* c = tls_ctx();
+  assert(c != nullptr && c->tx != nullptr && "no transaction context bound");
+  return *c->tx;
+}
+
+}  // namespace semstm

@@ -1,0 +1,29 @@
+#include <stdexcept>
+#include <string>
+
+#include "algos/cgl.hpp"
+#include "algos/norec.hpp"
+#include "algos/snorec.hpp"
+#include "algos/stl2.hpp"
+#include "algos/tl2.hpp"
+#include "core/algorithm.hpp"
+
+namespace semstm {
+
+std::unique_ptr<Algorithm> make_algorithm(std::string_view name,
+                                          const AlgoOptions& opts) {
+  if (name == "cgl") return std::make_unique<CglAlgorithm>();
+  if (name == "norec") return std::make_unique<NorecAlgorithm>();
+  if (name == "snorec") return std::make_unique<SnorecAlgorithm>();
+  if (name == "tl2") return std::make_unique<Tl2Algorithm>(opts);
+  if (name == "stl2") return std::make_unique<Stl2Algorithm>(opts);
+  throw std::invalid_argument("unknown TM algorithm: " + std::string(name));
+}
+
+const std::vector<std::string>& algorithm_names() {
+  static const std::vector<std::string> names = {"cgl", "norec", "snorec",
+                                                 "tl2", "stl2"};
+  return names;
+}
+
+}  // namespace semstm

@@ -1,0 +1,120 @@
+// TM-friendly semantics: the relations of the paper's Table 1
+// (TM_GT/TM_GTE/TM_LT/TM_LTE/TM_EQ/TM_NEQ) together with evaluation and
+// inversion. A plain transactional read is modelled as a semantic EQ
+// against the observed value (paper §4.1), which lets a single validator
+// cover both value-based and semantic validation.
+#pragma once
+
+#include <cstdint>
+
+#include "core/word.hpp"
+
+namespace semstm {
+
+/// Comparison relation. Ordered relations carry signedness (S*/U*) because
+/// the raw word does not; TVar<T> picks the variant matching T.
+enum class Rel : std::uint8_t {
+  EQ,
+  NEQ,
+  SLT,  // signed <
+  SLE,  // signed <=
+  SGT,  // signed >
+  SGE,  // signed >=
+  ULT,  // unsigned <
+  ULE,  // unsigned <=
+  UGT,  // unsigned >
+  UGE,  // unsigned >=
+};
+
+/// The logical inverse: used when a cmp evaluates to false — the read-set
+/// then records the *inverted* relation, which must keep holding (Alg. 6
+/// line 34, Alg. 7 lines 18/34).
+constexpr Rel inverse(Rel r) noexcept {
+  switch (r) {
+    case Rel::EQ:  return Rel::NEQ;
+    case Rel::NEQ: return Rel::EQ;
+    case Rel::SLT: return Rel::SGE;
+    case Rel::SLE: return Rel::SGT;
+    case Rel::SGT: return Rel::SLE;
+    case Rel::SGE: return Rel::SLT;
+    case Rel::ULT: return Rel::UGE;
+    case Rel::ULE: return Rel::UGT;
+    case Rel::UGT: return Rel::ULE;
+    case Rel::UGE: return Rel::ULT;
+  }
+  return Rel::EQ;  // unreachable
+}
+
+/// Evaluate `a REL b` on raw words.
+constexpr bool eval(Rel r, word_t a, word_t b) noexcept {
+  const auto sa = static_cast<std::int64_t>(a);
+  const auto sb = static_cast<std::int64_t>(b);
+  switch (r) {
+    case Rel::EQ:  return a == b;
+    case Rel::NEQ: return a != b;
+    case Rel::SLT: return sa < sb;
+    case Rel::SLE: return sa <= sb;
+    case Rel::SGT: return sa > sb;
+    case Rel::SGE: return sa >= sb;
+    case Rel::ULT: return a < b;
+    case Rel::ULE: return a <= b;
+    case Rel::UGT: return a > b;
+    case Rel::UGE: return a >= b;
+  }
+  return false;  // unreachable
+}
+
+constexpr const char* rel_name(Rel r) noexcept {
+  switch (r) {
+    case Rel::EQ:  return "EQ";
+    case Rel::NEQ: return "NEQ";
+    case Rel::SLT: return "SLT";
+    case Rel::SLE: return "SLE";
+    case Rel::SGT: return "SGT";
+    case Rel::SGE: return "SGE";
+    case Rel::ULT: return "ULT";
+    case Rel::ULE: return "ULE";
+    case Rel::UGT: return "UGT";
+    case Rel::UGE: return "UGE";
+  }
+  return "?";
+}
+
+/// One atomic comparison term: `*addr REL operand` or `*addr REL *rhs_addr`.
+/// Terms compose into disjunctive clauses (paper §3: "they can compose by
+/// having more than one operator and/or more than one variable in the
+/// conditional expression") — the unit of semantic validation.
+struct CmpTerm {
+  const tword* addr = nullptr;
+  const tword* rhs_addr = nullptr;  ///< non-null: address–address compare
+  word_t operand = 0;
+  Rel rel = Rel::EQ;
+
+  /// Re-evaluate against current memory.
+  bool eval_now() const noexcept {
+    const word_t lhs = addr->load(std::memory_order_acquire);
+    const word_t rhs =
+        rhs_addr ? rhs_addr->load(std::memory_order_acquire) : operand;
+    return eval(rel, lhs, rhs);
+  }
+};
+
+/// Signedness-aware relation picker for a value type T.
+template <typename T>
+constexpr Rel rel_lt() noexcept {
+  return std::is_signed_v<T> ? Rel::SLT : Rel::ULT;
+}
+template <typename T>
+constexpr Rel rel_le() noexcept {
+  return std::is_signed_v<T> ? Rel::SLE : Rel::ULE;
+}
+template <typename T>
+constexpr Rel rel_gt() noexcept {
+  return std::is_signed_v<T> ? Rel::SGT : Rel::UGT;
+}
+template <typename T>
+constexpr Rel rel_ge() noexcept {
+  return std::is_signed_v<T> ? Rel::SGE : Rel::UGE;
+}
+
+}  // namespace semstm

@@ -1,0 +1,49 @@
+// Per-transaction-descriptor operation counters.
+//
+// These are the statistics behind the paper's Table 3 (average number of
+// read / write / compare / increment / promote operations per transaction)
+// and the abort-rate series of Figures 1 and 2.
+#pragma once
+
+#include <cstdint>
+
+namespace semstm {
+
+struct TxStats {
+  std::uint64_t starts = 0;       ///< transaction attempts (commits + aborts)
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+
+  std::uint64_t reads = 0;        ///< plain transactional reads
+  std::uint64_t writes = 0;       ///< plain transactional writes
+  std::uint64_t compares = 0;     ///< semantic cmp (address–value)
+  std::uint64_t compares2 = 0;    ///< semantic cmp (address–address)
+  std::uint64_t increments = 0;   ///< semantic inc/dec
+  std::uint64_t promotions = 0;   ///< inc promoted to read+write (RAW)
+  std::uint64_t validations = 0;  ///< read/compare-set validation passes
+
+  TxStats& operator+=(const TxStats& o) noexcept {
+    starts += o.starts;
+    commits += o.commits;
+    aborts += o.aborts;
+    reads += o.reads;
+    writes += o.writes;
+    compares += o.compares;
+    compares2 += o.compares2;
+    increments += o.increments;
+    promotions += o.promotions;
+    validations += o.validations;
+    return *this;
+  }
+
+  void reset() noexcept { *this = TxStats{}; }
+
+  /// Abort percentage over all attempts, as plotted in the paper's figures.
+  double abort_pct() const noexcept {
+    const auto total = commits + aborts;
+    return total == 0 ? 0.0 : 100.0 * static_cast<double>(aborts) /
+                                  static_cast<double>(total);
+  }
+};
+
+}  // namespace semstm

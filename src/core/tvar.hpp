@@ -1,0 +1,131 @@
+// TVar<T>: the typed public face of a transactional word.
+//
+// Classical access:   x.get(tx) / x.set(tx, v)          (TM_READ / TM_WRITE)
+// Semantic access:    x.gt(tx, v), x.lte(tx, other)...  (Table 1)
+//                     x.add(tx, d) / x.sub(tx, d)       (TM_INC / TM_DEC)
+//
+// Ordered comparisons pick the signed or unsigned relation from T.
+// `unsafe_*` accessors bypass the TM for single-threaded setup/verification.
+#pragma once
+
+#include <type_traits>
+
+#include "core/tx.hpp"
+#include "core/word.hpp"
+
+namespace semstm {
+
+template <WordRepresentable T>
+class TVar {
+ public:
+  using value_type = T;
+
+  constexpr TVar() noexcept : word_(to_word(T{})) {}
+  explicit constexpr TVar(T init) noexcept : word_(to_word(init)) {}
+
+  // TVars are pinned in memory (their address is their identity).
+  TVar(const TVar&) = delete;
+  TVar& operator=(const TVar&) = delete;
+
+  // -- Classical constructs -----------------------------------------------
+
+  T get(Tx& tx) const { return from_word<T>(tx.read(&word_)); }
+  void set(Tx& tx, T v) { tx.write(&word_, to_word(v)); }
+
+  // -- Semantic constructs: address–value ----------------------------------
+
+  bool eq(Tx& tx, T v) const { return tx.cmp(&word_, Rel::EQ, to_word(v)); }
+  bool neq(Tx& tx, T v) const { return tx.cmp(&word_, Rel::NEQ, to_word(v)); }
+  bool lt(Tx& tx, T v) const
+    requires std::is_integral_v<T>
+  {
+    return tx.cmp(&word_, rel_lt<T>(), to_word(v));
+  }
+  bool lte(Tx& tx, T v) const
+    requires std::is_integral_v<T>
+  {
+    return tx.cmp(&word_, rel_le<T>(), to_word(v));
+  }
+  bool gt(Tx& tx, T v) const
+    requires std::is_integral_v<T>
+  {
+    return tx.cmp(&word_, rel_gt<T>(), to_word(v));
+  }
+  bool gte(Tx& tx, T v) const
+    requires std::is_integral_v<T>
+  {
+    return tx.cmp(&word_, rel_ge<T>(), to_word(v));
+  }
+
+  // -- Semantic constructs: address–address --------------------------------
+
+  bool eq(Tx& tx, const TVar& o) const {
+    return tx.cmp2(&word_, Rel::EQ, &o.word_);
+  }
+  bool neq(Tx& tx, const TVar& o) const {
+    return tx.cmp2(&word_, Rel::NEQ, &o.word_);
+  }
+  bool lt(Tx& tx, const TVar& o) const
+    requires std::is_integral_v<T>
+  {
+    return tx.cmp2(&word_, rel_lt<T>(), &o.word_);
+  }
+  bool lte(Tx& tx, const TVar& o) const
+    requires std::is_integral_v<T>
+  {
+    return tx.cmp2(&word_, rel_le<T>(), &o.word_);
+  }
+  bool gt(Tx& tx, const TVar& o) const
+    requires std::is_integral_v<T>
+  {
+    return tx.cmp2(&word_, rel_gt<T>(), &o.word_);
+  }
+  bool gte(Tx& tx, const TVar& o) const
+    requires std::is_integral_v<T>
+  {
+    return tx.cmp2(&word_, rel_ge<T>(), &o.word_);
+  }
+
+  // -- Semantic constructs: increment/decrement -----------------------------
+
+  void add(Tx& tx, T delta)
+    requires std::is_integral_v<T>
+  {
+    tx.inc(&word_, to_word(delta));
+  }
+  void sub(Tx& tx, T delta)
+    requires std::is_integral_v<T>
+  {
+    tx.inc(&word_, to_word(static_cast<T>(0)) - to_word(delta));
+  }
+
+  // -- Non-transactional escape hatches -------------------------------------
+
+  T unsafe_get() const noexcept {
+    return from_word<T>(word_.load(std::memory_order_acquire));
+  }
+  void unsafe_set(T v) noexcept {
+    word_.store(to_word(v), std::memory_order_release);
+  }
+
+  /// Raw word access for low-level code (tmir ABI, tests).
+  tword* word() noexcept { return &word_; }
+  const tword* word() const noexcept { return &word_; }
+
+ private:
+  mutable tword word_;
+};
+
+/// Build a clause term `var REL value` for Tx::cmp_or.
+template <WordRepresentable T>
+CmpTerm term(const TVar<T>& var, Rel rel, T value) noexcept {
+  return CmpTerm{var.word(), nullptr, to_word(value), rel};
+}
+
+/// Build a clause term `a REL b` (address–address) for Tx::cmp_or.
+template <WordRepresentable T>
+CmpTerm term(const TVar<T>& a, Rel rel, const TVar<T>& b) noexcept {
+  return CmpTerm{a.word(), b.word(), 0, rel};
+}
+
+}  // namespace semstm

@@ -1,0 +1,101 @@
+// The abstract transaction: the paper's extended TM API.
+//
+// Classical constructs:    read, write            (TM_READ / TM_WRITE)
+// Semantic constructs:     cmp, cmp2, inc         (Table 1 / §4)
+//
+//   bool cmp (addr, Rel, value)   — address–value conditional (TM_GT, ...)
+//   bool cmp2(addr, Rel, addr2)   — address–address conditional (paper §3:
+//                                   "extending the algorithms ... is
+//                                   straightforward"; we implement it)
+//   void inc (addr, delta)        — deferred increment (TM_INC / TM_DEC:
+//                                   delta is two's-complement, so decrement
+//                                   is inc with a negative delta)
+//
+// Non-semantic algorithms (NOrec, TL2, CGL) inherit the default cmp/inc
+// implementations below, which delegate to read/write. That is exactly the
+// paper's "NOrec Modified-GCC" configuration: the application calls the
+// semantic API but the algorithm handles it non-semantically.
+#pragma once
+
+#include <cstdint>
+
+#include "core/semantics.hpp"
+#include "core/stats.hpp"
+#include "core/word.hpp"
+
+namespace semstm {
+
+/// Thrown by an algorithm to roll back the current transaction attempt.
+/// Caught exclusively by atomically(); user code never sees it.
+struct TxAbort {};
+
+class Tx {
+ public:
+  virtual ~Tx() = default;
+
+  Tx(const Tx&) = delete;
+  Tx& operator=(const Tx&) = delete;
+
+  virtual const char* algorithm() const noexcept = 0;
+
+  // -- Lifecycle (driven by atomically()) ---------------------------------
+
+  /// Start (or restart) a transaction attempt.
+  virtual void begin() = 0;
+
+  /// Attempt to commit; throws TxAbort on validation failure.
+  virtual void commit() = 0;
+
+  /// Roll back local metadata after an abort (read/write sets etc.).
+  virtual void rollback() = 0;
+
+  // -- Classical constructs ------------------------------------------------
+
+  virtual word_t read(const tword* addr) = 0;
+  virtual void write(tword* addr, word_t value) = 0;
+
+  // -- Semantic constructs -------------------------------------------------
+
+  /// Conditional `*addr REL operand`. Default: plain read + local compare.
+  virtual bool cmp(const tword* addr, Rel rel, word_t operand) {
+    return eval(rel, read(addr), operand);
+  }
+
+  /// Conditional `*a REL *b`. Default: two plain reads + local compare.
+  virtual bool cmp2(const tword* a, Rel rel, const tword* b) {
+    const word_t va = read(a);
+    const word_t vb = read(b);
+    return eval(rel, va, vb);
+  }
+
+  /// Disjunctive conditional `term_0 || term_1 || ...` (paper §3: composed
+  /// conditional expressions treated as ONE semantic read operation, e.g.
+  /// `x > 0 || y > 0`, or the hashtable probe's per-cell clause). Semantic
+  /// algorithms validate the clause as a unit — only a change that flips
+  /// the OR's outcome aborts. Default: short-circuit evaluation over plain
+  /// reads, exactly how a non-semantic TM executes the original condition.
+  virtual bool cmp_or(const CmpTerm* terms, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const word_t lhs = read(terms[i].addr);
+      const word_t rhs =
+          terms[i].rhs_addr ? read(terms[i].rhs_addr) : terms[i].operand;
+      if (eval(terms[i].rel, lhs, rhs)) return true;
+    }
+    return false;
+  }
+
+  /// Deferred `*addr += delta`. Default: read-modify-write.
+  virtual void inc(tword* addr, word_t delta) {
+    write(addr, read(addr) + delta);
+  }
+
+  TxStats stats;
+
+ protected:
+  Tx() = default;
+
+  /// Abort the current attempt (does not count stats; atomically() does).
+  [[noreturn]] static void abort_tx() { throw TxAbort{}; }
+};
+
+}  // namespace semstm

@@ -1,0 +1,64 @@
+// Transactional word representation.
+//
+// semstm is a word-based STM (like RSTM and GCC's libitm ml_wt/norec
+// back ends): all transactional state lives in 64-bit words. Every shared
+// word is a std::atomic so that the racy accesses inherent to optimistic
+// concurrency (speculative loads concurrent with commit-time write-back)
+// are defined behaviour under the C++ memory model.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace semstm {
+
+/// The raw transactional word. Semantic comparisons interpret it as a
+/// signed or unsigned 64-bit integer depending on the Rel variant used.
+using word_t = std::uint64_t;
+
+/// A shared transactional memory word.
+using tword = std::atomic<word_t>;
+
+static_assert(std::atomic<word_t>::is_always_lock_free,
+              "semstm requires lock-free 64-bit atomics");
+
+/// Types that can live in a transactional word.
+template <typename T>
+concept WordRepresentable =
+    std::is_trivially_copyable_v<T> && sizeof(T) <= sizeof(word_t);
+
+/// Encode a value into a word. Signed integrals are sign-extended so that
+/// ordered semantic comparisons (Rel::SLT etc.) work across widths.
+template <WordRepresentable T>
+constexpr word_t to_word(T v) noexcept {
+  if constexpr (std::is_integral_v<T> && std::is_signed_v<T>) {
+    return static_cast<word_t>(static_cast<std::int64_t>(v));
+  } else if constexpr (std::is_integral_v<T> || std::is_enum_v<T>) {
+    return static_cast<word_t>(v);
+  } else if constexpr (std::is_pointer_v<T>) {
+    return reinterpret_cast<word_t>(v);
+  } else {
+    word_t w = 0;
+    std::memcpy(&w, &v, sizeof(T));
+    return w;
+  }
+}
+
+/// Decode a word back to a value (inverse of to_word).
+template <WordRepresentable T>
+constexpr T from_word(word_t w) noexcept {
+  if constexpr (std::is_integral_v<T> || std::is_enum_v<T>) {
+    return static_cast<T>(w);
+  } else if constexpr (std::is_pointer_v<T>) {
+    return reinterpret_cast<T>(w);
+  } else {
+    T v;
+    std::memcpy(&v, &w, sizeof(T));
+    return v;
+  }
+}
+
+}  // namespace semstm

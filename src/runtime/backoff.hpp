@@ -1,0 +1,51 @@
+// Contention manager: randomized exponential backoff between attempts.
+//
+// The paper relies on the baseline algorithms' native progress behaviour
+// plus a retry/backoff loop (and a timeout on S-TL2's orec waits, §4.2);
+// this class provides both the backoff and the bounded-wait helper.
+#pragma once
+
+#include <cstdint>
+
+#include "sched/yieldpoint.hpp"
+#include "util/rng.hpp"
+
+namespace semstm {
+
+class Backoff {
+ public:
+  explicit Backoff(std::uint64_t seed = 0xB0FFULL) : rng_(seed) {}
+
+  /// Call after an abort; spins for a randomized, exponentially growing
+  /// number of pause steps (virtual ticks under the simulator).
+  void pause() {
+    const std::uint64_t spins = rng_.below(ceiling_) + 1;
+    for (std::uint64_t i = 0; i < spins; ++i) sched::spin_pause();
+    if (ceiling_ < kMaxCeiling) ceiling_ *= 2;
+  }
+
+  void reset() noexcept { ceiling_ = kMinCeiling; }
+
+ private:
+  static constexpr std::uint64_t kMinCeiling = 8;
+  static constexpr std::uint64_t kMaxCeiling = 4096;
+
+  Rng rng_;
+  std::uint64_t ceiling_ = kMinCeiling;
+};
+
+/// Bounded spin used by S-TL2 when a cmp observes a locked orec: wait for
+/// the owner to release rather than aborting, but give up after `limit`
+/// pauses to avoid starvation (paper §4.2 "timeout mechanism"). The limit
+/// is sized to a couple of commit write-back durations — beyond that the
+/// lock holder is not making progress for us and waiting only burns time.
+template <typename Pred>
+bool bounded_wait(Pred&& released, std::uint64_t limit = 64) {
+  for (std::uint64_t i = 0; i < limit; ++i) {
+    if (released()) return true;
+    sched::spin_pause();
+  }
+  return released();
+}
+
+}  // namespace semstm

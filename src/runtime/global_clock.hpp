@@ -1,0 +1,73 @@
+// Global versioned clocks.
+//
+//  - SeqLock: NOrec's single global timestamped lock (odd = a writer is in
+//    its commit phase). Paper §4.1 / NOrec [Dalessandro et al., PPoPP'10].
+//  - VersionClock: TL2's global version timestamp, advanced by committing
+//    writers. S-TL2 replaces fetch-add with CAS at the serialization point
+//    (paper §4.2 lines 68–72); both are exposed here.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "sched/yieldpoint.hpp"
+#include "util/padded.hpp"
+
+namespace semstm {
+
+class SeqLock {
+ public:
+  /// Spin until the value is even (no writer committing) and return it.
+  std::uint64_t sample_even() const noexcept {
+    for (;;) {
+      const std::uint64_t t = value_.value.load(std::memory_order_acquire);
+      if ((t & 1) == 0) return t;
+      sched::spin_pause();
+    }
+  }
+
+  std::uint64_t load() const noexcept {
+    return value_.value.load(std::memory_order_acquire);
+  }
+
+  /// Try to enter the commit phase: CAS snapshot -> snapshot|1.
+  bool try_lock(std::uint64_t snapshot) noexcept {
+    std::uint64_t expected = snapshot;
+    return value_.value.compare_exchange_strong(expected, snapshot + 1,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire);
+  }
+
+  /// Leave the commit phase, publishing a new even timestamp.
+  void unlock(std::uint64_t locked_value) noexcept {
+    value_.value.store(locked_value + 1, std::memory_order_release);
+  }
+
+ private:
+  Padded<std::atomic<std::uint64_t>> value_{};
+};
+
+class VersionClock {
+ public:
+  std::uint64_t load() const noexcept {
+    return value_.value.load(std::memory_order_acquire);
+  }
+
+  /// TL2: atomically advance and return the new write version.
+  std::uint64_t fetch_increment() noexcept {
+    return value_.value.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+  /// S-TL2: conditional advance — fails if another writer serialized in
+  /// between, forcing compare-set revalidation (Alg. 7 line 71).
+  bool try_advance(std::uint64_t expected) noexcept {
+    return value_.value.compare_exchange_strong(expected, expected + 1,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire);
+  }
+
+ private:
+  Padded<std::atomic<std::uint64_t>> value_{};
+};
+
+}  // namespace semstm

@@ -1,0 +1,80 @@
+// Ownership records (orecs) for TL2 / S-TL2.
+//
+// Shared words hash onto a fixed table of orecs. Each orec carries a
+// version (the global timestamp of the last commit that wrote under it)
+// and an owner pointer (the transaction currently holding its commit-time
+// lock, or null). Keeping the two in separate atomics — rather than the
+// classic packed version/lock word — lets readers test "lock ∈ {tx, φ}"
+// (Alg. 7) directly against the owner.
+//
+// Write-back protocol (see Tl2Tx::commit): values are stored first, then
+// versions (release), then owners are cleared (release). A reader that
+// observes a new value therefore observes either a set owner or a bumped
+// version, and its (version, owner, value, owner, version) sandwich read
+// rejects the inconsistency.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "core/word.hpp"
+#include "util/padded.hpp"
+
+namespace semstm {
+
+class Tx;
+
+struct Orec {
+  std::atomic<std::uint64_t> version{0};
+  std::atomic<const Tx*> owner{nullptr};
+
+  bool locked_by_other(const Tx* self) const noexcept {
+    const Tx* o = owner.load(std::memory_order_acquire);
+    return o != nullptr && o != self;
+  }
+
+  bool locked() const noexcept {
+    return owner.load(std::memory_order_acquire) != nullptr;
+  }
+
+  /// Commit-time try-lock (null -> tx). Idempotent for the same owner.
+  bool try_lock(const Tx* tx) noexcept {
+    const Tx* expected = nullptr;
+    if (owner.compare_exchange_strong(expected, tx, std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+      return true;
+    }
+    return expected == tx;
+  }
+
+  void unlock(const Tx* tx) noexcept {
+    const Tx* o = owner.load(std::memory_order_relaxed);
+    if (o == tx) owner.store(nullptr, std::memory_order_release);
+  }
+};
+
+class OrecTable {
+ public:
+  /// `log2_size` trades memory for fewer false conflicts (hash collisions);
+  /// bench/ablation sweeps it. Default 2^16 orecs.
+  explicit OrecTable(unsigned log2_size = 16)
+      : mask_((std::size_t{1} << log2_size) - 1),
+        slots_(std::make_unique<Orec[]>(std::size_t{1} << log2_size)) {}
+
+  Orec& of(const tword* addr) noexcept {
+    auto h = reinterpret_cast<std::uintptr_t>(addr) >> 3;
+    h ^= h >> 17;
+    h *= 0x9E3779B97F4A7C15ULL;
+    h ^= h >> 29;
+    return slots_[static_cast<std::size_t>(h) & mask_];
+  }
+
+  std::size_t size() const noexcept { return mask_ + 1; }
+
+ private:
+  std::size_t mask_;
+  std::unique_ptr<Orec[]> slots_;
+};
+
+}  // namespace semstm

@@ -1,0 +1,95 @@
+// Read-set / compare-set storage.
+//
+// One entry type covers the whole validation spectrum of §4:
+//  - a plain read is a single-term clause `addr EQ observed` expected true
+//    (value-based validation is the EQ special case of semantic
+//    validation);
+//  - a semantic cmp is a single-term clause with the observed outcome;
+//  - a composed conditional (paper §3, e.g. the hashtable probe's
+//    `state == REMOVED || key != value`) is a multi-term *disjunctive*
+//    clause validated as a unit: the entry holds while the OR of its terms
+//    still evaluates to the recorded outcome. Conjunctions need no special
+//    support — `A && B` observed true is simply two entries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/semantics.hpp"
+#include "core/word.hpp"
+
+namespace semstm {
+
+struct ReadEntry {
+  static constexpr unsigned kMaxTerms = 3;
+
+  CmpTerm terms[kMaxTerms];
+  std::uint8_t count = 0;
+  bool expected = true;  ///< recorded outcome of the OR over the terms
+
+  /// Semantic validation: does the clause still evaluate to `expected`?
+  bool holds() const noexcept {
+    bool v = false;
+    for (unsigned i = 0; i < count && !v; ++i) v = terms[i].eval_now();
+    return v == expected;
+  }
+};
+
+class ReadSet {
+ public:
+  void append_value(const tword* addr, word_t observed) {
+    ReadEntry e;
+    e.terms[0] = CmpTerm{addr, nullptr, observed, Rel::EQ};
+    e.count = 1;
+    e.expected = true;
+    entries_.push_back(e);
+  }
+
+  /// Record a semantic compare with its observed outcome.
+  void append_cmp(const tword* addr, Rel rel, word_t operand, bool outcome) {
+    ReadEntry e;
+    e.terms[0] = CmpTerm{addr, nullptr, operand, rel};
+    e.count = 1;
+    e.expected = outcome;
+    entries_.push_back(e);
+  }
+
+  void append_cmp2(const tword* a, Rel rel, const tword* b, bool outcome) {
+    ReadEntry e;
+    e.terms[0] = CmpTerm{a, b, 0, rel};
+    e.count = 1;
+    e.expected = outcome;
+    entries_.push_back(e);
+  }
+
+  /// Record a disjunctive clause (OR of up to kMaxTerms terms) with its
+  /// observed outcome.
+  void append_clause(const CmpTerm* terms, std::size_t n, bool outcome) {
+    ReadEntry e;
+    for (std::size_t i = 0; i < n && i < ReadEntry::kMaxTerms; ++i) {
+      e.terms[i] = terms[i];
+    }
+    e.count = static_cast<std::uint8_t>(n < ReadEntry::kMaxTerms
+                                            ? n
+                                            : ReadEntry::kMaxTerms);
+    e.expected = outcome;
+    entries_.push_back(e);
+  }
+
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t size() const noexcept { return entries_.size(); }
+  void clear() noexcept { entries_.clear(); }
+
+  auto begin() const noexcept { return entries_.begin(); }
+  auto end() const noexcept { return entries_.end(); }
+
+ private:
+  std::vector<ReadEntry> entries_;
+};
+
+/// S-TL2 keeps semantic compares in a dedicated set with the same entry
+/// layout (paper §4.2); alias for clarity at use sites.
+using CompareSet = ReadSet;
+
+}  // namespace semstm

@@ -1,0 +1,122 @@
+// Write-set: an open-addressing hash map from address to pending effect.
+//
+// Each entry is either a standard WRITE (absolute value) or an INCREMENT
+// (accumulated delta, applied to memory at commit). The flag and the
+// write-after-write / increment-after-write merge rules implement lines
+// 44–52 of Algorithm 6:
+//   - inc   after (write|inc):  accumulate delta, keep existing kind
+//   - write after (write|inc):  overwrite value, kind becomes WRITE
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/word.hpp"
+
+namespace semstm {
+
+enum class WriteKind : std::uint8_t { kWrite, kIncrement };
+
+struct WriteEntry {
+  tword* addr = nullptr;
+  word_t value = 0;  ///< absolute value (kWrite) or accumulated delta (kIncrement)
+  WriteKind kind = WriteKind::kWrite;
+};
+
+class WriteSet {
+ public:
+  WriteSet() { reset_table(kInitialBuckets); }
+
+  /// Lookup; returns nullptr when the address has no pending effect.
+  WriteEntry* find(const tword* addr) noexcept {
+    std::size_t slot = probe_of(addr);
+    while (index_[slot] != kEmpty) {
+      WriteEntry& e = entries_[index_[slot]];
+      if (e.addr == addr) return &e;
+      slot = (slot + 1) & mask_;
+    }
+    return nullptr;
+  }
+  const WriteEntry* find(const tword* addr) const noexcept {
+    return const_cast<WriteSet*>(this)->find(addr);
+  }
+
+  /// Standard transactional write (Alg. 6 lines 50–52).
+  void put_write(tword* addr, word_t value) {
+    if (WriteEntry* e = find(addr)) {
+      e->value = value;
+      e->kind = WriteKind::kWrite;
+      return;
+    }
+    insert({addr, value, WriteKind::kWrite});
+  }
+
+  /// Semantic increment (Alg. 6 lines 44–49).
+  void put_inc(tword* addr, word_t delta) {
+    if (WriteEntry* e = find(addr)) {
+      e->value += delta;  // accumulate over WRITE value or INCREMENT delta
+      return;
+    }
+    insert({addr, delta, WriteKind::kIncrement});
+  }
+
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  void clear() noexcept {
+    entries_.clear();
+    if (index_.size() != kInitialBuckets) {
+      reset_table(kInitialBuckets);
+    } else {
+      std::fill(index_.begin(), index_.end(), kEmpty);
+    }
+  }
+
+  auto begin() noexcept { return entries_.begin(); }
+  auto end() noexcept { return entries_.end(); }
+  auto begin() const noexcept { return entries_.begin(); }
+  auto end() const noexcept { return entries_.end(); }
+
+ private:
+  static constexpr std::size_t kInitialBuckets = 64;
+  static constexpr std::uint32_t kEmpty = UINT32_MAX;
+
+  std::size_t probe_of(const tword* addr) const noexcept {
+    auto h = reinterpret_cast<std::uintptr_t>(addr);
+    h ^= h >> 33;
+    h *= 0xFF51AFD7ED558CCDULL;
+    h ^= h >> 33;
+    return static_cast<std::size_t>(h) & mask_;
+  }
+
+  void insert(WriteEntry e) {
+    if ((entries_.size() + 1) * 4 > index_.size() * 3) grow();
+    entries_.push_back(e);
+    place(static_cast<std::uint32_t>(entries_.size() - 1));
+  }
+
+  void place(std::uint32_t pos) noexcept {
+    std::size_t slot = probe_of(entries_[pos].addr);
+    while (index_[slot] != kEmpty) slot = (slot + 1) & mask_;
+    index_[slot] = pos;
+  }
+
+  void grow() {
+    reset_table(index_.size() * 2);
+    for (std::uint32_t i = 0; i < entries_.size(); ++i) place(i);
+  }
+
+  void reset_table(std::size_t buckets) {
+    assert((buckets & (buckets - 1)) == 0 && "power of two");
+    index_.assign(buckets, kEmpty);
+    mask_ = buckets - 1;
+  }
+
+  std::vector<WriteEntry> entries_;
+  std::vector<std::uint32_t> index_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace semstm

@@ -1,0 +1,29 @@
+#include "sched/thread_runner.hpp"
+
+#include "util/timing.hpp"
+
+namespace semstm::sched {
+
+RealResult run_threads(unsigned n, const std::function<void(unsigned)>& body) {
+  std::atomic<unsigned> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+
+  for (unsigned tid = 0; tid < n; ++tid) {
+    threads.emplace_back([&, tid] {
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      body(tid);
+    });
+  }
+
+  while (ready.load(std::memory_order_acquire) != n) std::this_thread::yield();
+  Timer timer;
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  return RealResult{timer.seconds()};
+}
+
+}  // namespace semstm::sched

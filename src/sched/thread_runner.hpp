@@ -1,0 +1,21 @@
+// Real-thread execution: one std::thread per logical thread with a start
+// barrier. Used on genuinely multi-core hosts and by the stress tests;
+// the figure benches default to the virtual scheduler (see DESIGN.md).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace semstm::sched {
+
+struct RealResult {
+  double seconds = 0.0;
+};
+
+/// Run body(tid) on n OS threads; returns wall time from barrier release
+/// to last join.
+RealResult run_threads(unsigned n, const std::function<void(unsigned)>& body);
+
+}  // namespace semstm::sched

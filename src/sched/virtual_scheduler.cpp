@@ -1,0 +1,152 @@
+#include "sched/virtual_scheduler.hpp"
+
+#include <ucontext.h>
+
+#include <cassert>
+#include <exception>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+
+#include "core/context.hpp"
+#include "sched/yieldpoint.hpp"
+#include "util/rng.hpp"
+
+namespace semstm::sched {
+
+namespace {
+constexpr std::uint64_t kInfinity = std::numeric_limits<std::uint64_t>::max();
+}
+
+struct VirtualScheduler::Impl : YieldHook {
+  struct Fiber {
+    ucontext_t ctx{};
+    std::unique_ptr<char[]> stack;
+    std::uint64_t vclock = 0;
+    bool done = false;
+    unsigned tid = 0;
+    Rng rng{0};
+    ThreadCtx* saved_tls = nullptr;  ///< semstm context parked across switches
+    std::exception_ptr error;
+  };
+
+  SimOptions opts;
+  std::vector<Fiber> fibers;
+  ucontext_t main_ctx{};
+  Fiber* current = nullptr;
+  /// Clock of the next-best runnable fiber; the current fiber yields only
+  /// once its own clock passes this (keeps switches rare but ordering exact).
+  std::uint64_t preempt_at = kInfinity;
+  const std::function<void(unsigned)>* body = nullptr;
+  std::uint64_t switches = 0;
+
+  explicit Impl(SimOptions o) : opts(o) {}
+
+  // YieldHook: called from inside the running fiber on every STM op.
+  void tick(std::uint64_t cost) override {
+    Fiber* f = current;
+    assert(f != nullptr);
+    std::uint64_t c = cost;
+    if (opts.jitter_pct > 0 && cost > 0) {
+      // At least ±1 of spread even for unit costs, so different seeds
+      // explore different interleavings.
+      c += f->rng.below(cost * opts.jitter_pct / 100 + 2);
+    }
+    f->vclock += c;
+    if (f->vclock > preempt_at + opts.quantum) {
+      ++switches;
+      swapcontext(&f->ctx, &main_ctx);  // back to the dispatch loop
+    }
+  }
+
+  static void trampoline();
+
+  void enter(Fiber& f) {
+    current = &f;
+    // Compute the preemption horizon: the minimum clock among the *other*
+    // runnable fibers.
+    preempt_at = kInfinity;
+    for (const Fiber& g : fibers) {
+      if (!g.done && g.tid != f.tid && g.vclock < preempt_at) {
+        preempt_at = g.vclock;
+      }
+    }
+    set_hook(this);
+    tls_ctx() = f.saved_tls;
+    swapcontext(&main_ctx, &f.ctx);
+    f.saved_tls = tls_ctx();
+    tls_ctx() = nullptr;
+    set_hook(nullptr);
+    current = nullptr;
+  }
+
+  SimResult run_all(unsigned n, const std::function<void(unsigned)>& b) {
+    body = &b;
+    fibers.clear();
+    fibers.resize(n);
+    SplitMix64 seeder(opts.seed);
+    for (unsigned i = 0; i < n; ++i) {
+      Fiber& f = fibers[i];
+      f.tid = i;
+      f.rng = Rng(seeder.next());
+      f.stack = std::make_unique<char[]>(opts.stack_bytes);
+      if (getcontext(&f.ctx) != 0) throw std::runtime_error("getcontext");
+      f.ctx.uc_stack.ss_sp = f.stack.get();
+      f.ctx.uc_stack.ss_size = opts.stack_bytes;
+      f.ctx.uc_link = &main_ctx;
+      makecontext(&f.ctx, reinterpret_cast<void (*)()>(&Impl::trampoline), 0);
+    }
+
+    for (;;) {
+      Fiber* next = nullptr;
+      for (Fiber& f : fibers) {
+        if (!f.done && (next == nullptr || f.vclock < next->vclock)) {
+          next = &f;
+        }
+      }
+      if (next == nullptr) break;
+      enter(*next);
+    }
+
+    SimResult r;
+    r.switches = switches;
+    r.thread_clocks.reserve(n);
+    for (Fiber& f : fibers) {
+      r.thread_clocks.push_back(f.vclock);
+      r.makespan = std::max(r.makespan, f.vclock);
+      if (f.error) std::rethrow_exception(f.error);
+    }
+    return r;
+  }
+};
+
+namespace {
+/// The impl whose fiber is being bootstrapped; set immediately before the
+/// first swap into a fiber (single carrier thread, so a plain TLS works).
+thread_local VirtualScheduler::Impl* g_bootstrapping = nullptr;
+}  // namespace
+
+void VirtualScheduler::Impl::trampoline() {
+  Impl* impl = g_bootstrapping;
+  Fiber* self = impl->current;
+  try {
+    (*impl->body)(self->tid);
+  } catch (...) {
+    self->error = std::current_exception();
+  }
+  self->done = true;
+  // uc_link returns to main_ctx when this function ends.
+}
+
+VirtualScheduler::VirtualScheduler(SimOptions opts) : impl_(new Impl(opts)) {}
+VirtualScheduler::~VirtualScheduler() { delete impl_; }
+
+SimResult VirtualScheduler::run(unsigned n,
+                                const std::function<void(unsigned)>& body) {
+  g_bootstrapping = impl_;
+  SimResult r = impl_->run_all(n, body);
+  g_bootstrapping = nullptr;
+  return r;
+}
+
+}  // namespace semstm::sched

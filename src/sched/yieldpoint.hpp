@@ -1,0 +1,68 @@
+// Yield points: the seam between the STM algorithms and the concurrency
+// substrate.
+//
+// In *real-thread* mode the hook is null: tick() is a no-op and spin_pause()
+// is a CPU pause. In *simulator* mode (sched/virtual_scheduler.hpp) the
+// fiber scheduler installs a hook per logical thread; every STM operation
+// then advances that fiber's virtual clock and may transfer control to
+// another fiber, producing an operation-granular interleaving of N logical
+// threads on one OS thread.
+//
+// Every spin-wait loop in the algorithms MUST call spin_pause(): under the
+// cooperative simulator this is what lets the lock holder run and is the
+// global progress guarantee.
+#pragma once
+
+#include <cstdint>
+
+namespace semstm::sched {
+
+/// Abstract cost units ("ticks") charged per operation by the simulator's
+/// cost model. Calibrated loosely to x86 STM instruction counts; only the
+/// ratios matter for the reproduced trends.
+struct Cost {
+  static constexpr std::uint64_t kBegin = 2;
+  static constexpr std::uint64_t kRead = 3;
+  static constexpr std::uint64_t kWrite = 3;
+  static constexpr std::uint64_t kCmp = 3;
+  static constexpr std::uint64_t kInc = 2;
+  static constexpr std::uint64_t kCommit = 6;
+  static constexpr std::uint64_t kValidateEntry = 1;
+  static constexpr std::uint64_t kSpin = 4;
+  static constexpr std::uint64_t kWork = 1;  ///< non-transactional app work
+};
+
+class YieldHook {
+ public:
+  virtual ~YieldHook() = default;
+  /// Charge `cost` ticks to the current logical thread; may switch fibers.
+  virtual void tick(std::uint64_t cost) = 0;
+};
+
+namespace detail {
+inline thread_local YieldHook* g_hook = nullptr;
+}
+
+/// Install (or clear, with nullptr) the hook for the current OS thread.
+/// The virtual scheduler re-points this at each fiber switch.
+inline void set_hook(YieldHook* h) noexcept { detail::g_hook = h; }
+inline YieldHook* hook() noexcept { return detail::g_hook; }
+
+/// Charge `cost` abstract ticks (no-op in real-thread mode).
+inline void tick(std::uint64_t cost = 1) {
+  if (auto* h = detail::g_hook) h->tick(cost);
+}
+
+/// Polite busy-wait step. Under the simulator this advances virtual time
+/// (so a spinning fiber eventually yields to the lock holder).
+inline void spin_pause() {
+  if (auto* h = detail::g_hook) {
+    h->tick(Cost::kSpin);
+  } else {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  }
+}
+
+}  // namespace semstm::sched

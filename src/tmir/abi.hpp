@@ -1,0 +1,35 @@
+// The extended TM ABI of the paper's Table 2.
+//
+// GCC lowers statements in a _transaction_atomic block to libitm ABI
+// calls; the paper adds three entry points for the semantic constructs.
+// Here the ABI is the seam between the tmir interpreter and the semstm
+// algorithms: non-semantic algorithms implement the S-calls by delegating
+// to the classical read/write handlers (exactly libitm's behaviour, and
+// the paper's "NOrec Modified-GCC" configuration), semantic algorithms
+// (S-NOrec) handle them natively.
+#pragma once
+
+#include "core/tx.hpp"
+
+namespace semstm::tmir::abi {
+
+/// _ITM_RU8: classical transactional read.
+inline word_t itm_read(Tx& tx, const tword* addr) { return tx.read(addr); }
+
+/// _ITM_WU8: classical transactional write.
+inline void itm_write(Tx& tx, tword* addr, word_t v) { tx.write(addr, v); }
+
+/// _ITM_S1R: address–value semantic read (conditional).
+inline bool itm_s1r(Tx& tx, const tword* addr, Rel rel, word_t operand) {
+  return tx.cmp(addr, rel, operand);
+}
+
+/// _ITM_S2R: address–address semantic read (conditional).
+inline bool itm_s2r(Tx& tx, const tword* a, Rel rel, const tword* b) {
+  return tx.cmp2(a, rel, b);
+}
+
+/// _ITM_SW: semantic write (deferred increment).
+inline void itm_sw(Tx& tx, tword* addr, word_t delta) { tx.inc(addr, delta); }
+
+}  // namespace semstm::tmir::abi

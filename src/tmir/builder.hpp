@@ -1,0 +1,98 @@
+// Fluent construction of tmir functions (the role of gimplification).
+#pragma once
+
+#include <cassert>
+#include <utility>
+
+#include "tmir/ir.hpp"
+
+namespace semstm::tmir {
+
+class Builder {
+ public:
+  explicit Builder(std::string name, std::uint32_t num_args,
+                   std::uint32_t num_locals) {
+    f_.name = std::move(name);
+    f_.num_args = num_args;
+    f_.num_locals = num_locals;
+    f_.blocks.emplace_back();  // entry block
+  }
+
+  /// Create a new (empty) block; returns its id.
+  std::uint32_t new_block() {
+    f_.blocks.emplace_back();
+    return static_cast<std::uint32_t>(f_.blocks.size() - 1);
+  }
+
+  void set_block(std::uint32_t b) {
+    assert(b < f_.blocks.size());
+    cur_ = b;
+  }
+  std::uint32_t cur_block() const noexcept { return cur_; }
+
+  // -- Value producers -------------------------------------------------------
+
+  std::int32_t konst(word_t v) { return emit_val({.op = Op::kConst, .imm = v}); }
+  std::int32_t arg(std::uint32_t i) {
+    assert(i < f_.num_args);
+    return emit_val({.op = Op::kArg, .imm = i});
+  }
+  std::int32_t load_local(std::uint32_t slot) {
+    assert(slot < f_.num_locals);
+    return emit_val({.op = Op::kLoadLocal, .imm = slot});
+  }
+  std::int32_t add(std::int32_t a, std::int32_t b) {
+    return emit_val({.op = Op::kAdd, .a = a, .b = b});
+  }
+  std::int32_t sub(std::int32_t a, std::int32_t b) {
+    return emit_val({.op = Op::kSub, .a = a, .b = b});
+  }
+  std::int32_t mul(std::int32_t a, std::int32_t b) {
+    return emit_val({.op = Op::kMul, .a = a, .b = b});
+  }
+  std::int32_t band(std::int32_t a, std::int32_t b) {
+    return emit_val({.op = Op::kAnd, .a = a, .b = b});
+  }
+  std::int32_t cmp(Rel rel, std::int32_t a, std::int32_t b) {
+    return emit_val({.op = Op::kCmp, .rel = rel, .a = a, .b = b});
+  }
+  /// Transactional load through an address temp (a holds a tword*).
+  std::int32_t tm_load(std::int32_t addr) {
+    return emit_val({.op = Op::kTmLoad, .a = addr});
+  }
+
+  // -- Effects ---------------------------------------------------------------
+
+  void store_local(std::uint32_t slot, std::int32_t v) {
+    emit({.op = Op::kStoreLocal, .a = v, .imm = slot});
+  }
+  void tm_store(std::int32_t addr, std::int32_t v) {
+    emit({.op = Op::kTmStore, .a = addr, .b = v});
+  }
+
+  // -- Terminators -----------------------------------------------------------
+
+  void br(std::uint32_t target) { emit({.op = Op::kBr, .imm = target}); }
+  void cbr(std::int32_t cond, std::uint32_t then_b, std::uint32_t else_b) {
+    emit({.op = Op::kCbr,
+          .a = cond,
+          .b = static_cast<std::int32_t>(else_b),
+          .imm = then_b});
+  }
+  void ret(std::int32_t v) { emit({.op = Op::kRet, .a = v}); }
+
+  Function take() { return std::move(f_); }
+
+ private:
+  std::int32_t emit_val(Instr i) {
+    i.dst = static_cast<std::int32_t>(f_.num_temps++);
+    emit(i);
+    return i.dst;
+  }
+  void emit(const Instr& i) { f_.blocks[cur_].code.push_back(i); }
+
+  Function f_;
+  std::uint32_t cur_ = 0;
+};
+
+}  // namespace semstm::tmir

@@ -1,0 +1,37 @@
+// The tmir interpreter: executes a function as the body of a transaction,
+// lowering IR statements to the (extended) TM ABI of abi.hpp — the role
+// GCC-generated code plays at run time.
+//
+// `instrument_locals` reproduces GCC's conservatism: inside a
+// _transaction_atomic block GCC speculates *every* read and write,
+// including provably-private ones, "while RSTM speculates only addresses
+// accessed using its transactional API" (paper §7.2). With the flag set,
+// local-slot accesses also go through TM barriers, which is what makes
+// the GCC curves of Figure 2 sit below the RSTM curves of Figure 1.
+#pragma once
+
+#include <cstddef>
+
+#include "core/tx.hpp"
+#include "tmir/ir.hpp"
+
+namespace semstm::tmir {
+
+struct InterpOptions {
+  bool instrument_locals = false;
+  /// Shadow storage for instrumented locals, provided by the caller and at
+  /// least `Function::num_locals` words long. REQUIRED when
+  /// instrument_locals is set: the transaction's write-set keeps pointers
+  /// into it until commit, so it must outlive the whole atomically() call
+  /// (declare it outside the transaction body). execute() re-initializes
+  /// the slots on entry, so retries after aborts are self-cleaning.
+  tword* local_shadow = nullptr;
+  std::size_t max_steps = 1u << 22;  ///< runaway-loop guard
+};
+
+/// Execute `f` under transaction `tx`. Returns the kRet operand (0 if the
+/// function returns nothing). Throws std::runtime_error on malformed IR.
+word_t execute(Tx& tx, const Function& f, const word_t* args,
+               std::size_t nargs, const InterpOptions& opts = {});
+
+}  // namespace semstm::tmir

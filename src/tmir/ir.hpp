@@ -1,0 +1,111 @@
+// tmir: a miniature GIMPLE-like intermediate representation.
+//
+// This is the substrate standing in for the paper's GCC integration (§6).
+// Like GIMPLE after gimplification, code is three-operand statements over
+// single-assignment temporaries, organised into basic blocks with explicit
+// conditional branches; transactional accesses are explicit TM_LOAD /
+// TM_STORE statements (what GCC's tm_mark pass emits for every shared
+// access inside a _transaction_atomic block).
+//
+// The two optimization passes of the paper operate on this IR:
+//   pass_tm_mark:     detect cmp / inc patterns, rewrite them to the
+//                     semantic builtins (_ITM_S1R / _ITM_S2R / _ITM_SW).
+//   pass_tm_optimize: remove TM loads feeding only never-live temporaries
+//                     (the read half of a rewritten increment, and any
+//                     other dead transactional read).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/semantics.hpp"
+#include "core/word.hpp"
+
+namespace semstm::tmir {
+
+enum class Op : std::uint8_t {
+  // Value producers (dst = ...)
+  kConst,       // dst = imm
+  kArg,         // dst = args[imm]
+  kLoadLocal,   // dst = locals[imm]
+  kAdd,         // dst = a + b
+  kSub,         // dst = a - b
+  kMul,         // dst = a * b
+  kAnd,         // dst = a & b
+  kCmp,         // dst = (a REL b)
+  kTmLoad,      // dst = TM_READ(*(tword*)a)
+  // Effects
+  kStoreLocal,  // locals[imm] = a
+  kTmStore,     // TM_WRITE(*(tword*)a, b)
+  // Terminators
+  kBr,          // goto blocks[imm]
+  kCbr,         // if (a) goto blocks[imm] else goto blocks[b]
+  kRet,         // return a
+  // Semantic builtins (only produced by pass_tm_mark)
+  kTmCmp1,      // dst = _ITM_S1R: cmp(*(tword*)a REL b-value)
+  kTmCmp2,      // dst = _ITM_S2R: cmp(*(tword*)a REL *(tword*)b)
+  kTmInc,       // _ITM_SW: inc(*(tword*)a, delta b)
+};
+
+constexpr bool produces_value(Op op) noexcept {
+  switch (op) {
+    case Op::kConst:
+    case Op::kArg:
+    case Op::kLoadLocal:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kAnd:
+    case Op::kCmp:
+    case Op::kTmLoad:
+    case Op::kTmCmp1:
+    case Op::kTmCmp2:
+      return true;
+    default:
+      return false;
+  }
+}
+
+constexpr bool is_terminator(Op op) noexcept {
+  return op == Op::kBr || op == Op::kCbr || op == Op::kRet;
+}
+
+/// One three-operand statement. `dst` and the operands `a`/`b` are temp
+/// ids; `imm` carries constants / local slots / branch targets.
+struct Instr {
+  Op op = Op::kConst;
+  Rel rel = Rel::EQ;  // kCmp / kTmCmp*
+  std::int32_t dst = -1;
+  std::int32_t a = -1;
+  std::int32_t b = -1;
+  word_t imm = 0;
+  bool dead = false;  ///< marked by passes; skipped by the interpreter
+};
+
+struct Block {
+  std::vector<Instr> code;
+};
+
+/// A function: blocks[0] is the entry. Temps are single-assignment by
+/// construction (the Builder enforces it); locals are mutable slots.
+struct Function {
+  std::string name;
+  std::vector<Block> blocks;
+  std::uint32_t num_temps = 0;
+  std::uint32_t num_locals = 0;
+  std::uint32_t num_args = 0;
+
+  /// Count of live (non-dead) instructions with the given op.
+  std::size_t count_op(Op op) const noexcept {
+    std::size_t n = 0;
+    for (const Block& b : blocks) {
+      for (const Instr& i : b.code) {
+        if (!i.dead && i.op == op) ++n;
+      }
+    }
+    return n;
+  }
+};
+
+}  // namespace semstm::tmir

@@ -1,0 +1,232 @@
+#include "tmir/kernels.hpp"
+
+#include "tmir/builder.hpp"
+
+namespace semstm::tmir {
+
+namespace {
+
+constexpr word_t kFree = 0;
+constexpr word_t kBusy = 1;
+constexpr word_t kRemoved = 2;
+
+// Locals shared by the hash kernels.
+constexpr std::uint32_t kLocIdx = 0;
+constexpr std::uint32_t kLocStep = 1;
+
+/// Emit `base + locals[kLocIdx] * 8` (a tword address).
+std::int32_t cell_addr(Builder& b, std::int32_t base) {
+  const std::int32_t idx = b.load_local(kLocIdx);
+  const std::int32_t off = b.mul(idx, b.konst(8));
+  return b.add(base, off);
+}
+
+/// Emit `locals[kLocIdx] = (locals[kLocIdx] + 1) & mask; ++step` and branch
+/// back to `loop`, or to `fail` once step exceeds the probe limit.
+void advance_probe(Builder& b, std::int32_t mask, std::int32_t limit,
+                   std::uint32_t loop, std::uint32_t fail) {
+  const std::int32_t idx = b.load_local(kLocIdx);
+  b.store_local(kLocIdx, b.band(b.add(idx, b.konst(1)), mask));
+  const std::int32_t step = b.add(b.load_local(kLocStep), b.konst(1));
+  b.store_local(kLocStep, step);
+  const std::int32_t done = b.cmp(Rel::UGE, step, limit);
+  const std::uint32_t cont = b.new_block();
+  b.cbr(done, fail, cont);
+  b.set_block(cont);
+  b.br(loop);
+}
+
+}  // namespace
+
+Function build_probe_kernel() {
+  Builder b("probe", /*num_args=*/6, /*num_locals=*/2);
+  const std::int32_t state_base = b.arg(0);
+  const std::int32_t key_base = b.arg(1);
+  const std::int32_t mask = b.arg(2);
+  const std::int32_t key = b.arg(4);
+  const std::int32_t limit = b.arg(5);
+  b.store_local(kLocIdx, b.arg(3));
+  b.store_local(kLocStep, b.konst(0));
+
+  const std::uint32_t loop = b.new_block();
+  const std::uint32_t check_key = b.new_block();
+  const std::uint32_t next = b.new_block();
+  const std::uint32_t found = b.new_block();
+  const std::uint32_t absent = b.new_block();
+  b.br(loop);
+
+  // Algorithm 2 issues a separate TM_READ(states[index]) per comparison
+  // (`states[index] != FREE` and `states[index] == REMOVED`), so each
+  // block holds its own load + cmp pair — the shape tm_mark matches.
+  b.set_block(loop);
+  const std::int32_t s1 = b.tm_load(cell_addr(b, state_base));
+  b.cbr(b.cmp(Rel::EQ, s1, b.konst(kFree)), absent, check_key);
+
+  b.set_block(check_key);
+  const std::uint32_t key_cmp = b.new_block();
+  const std::int32_t s2 = b.tm_load(cell_addr(b, state_base));
+  b.cbr(b.cmp(Rel::EQ, s2, b.konst(kRemoved)), next, key_cmp);
+  b.set_block(key_cmp);
+  const std::int32_t k = b.tm_load(cell_addr(b, key_base));
+  b.cbr(b.cmp(Rel::EQ, k, key), found, next);
+
+  b.set_block(next);
+  advance_probe(b, mask, limit, loop, absent);
+
+  b.set_block(found);
+  b.ret(b.konst(1));
+  b.set_block(absent);
+  b.ret(b.konst(0));
+  return b.take();
+}
+
+Function build_insert_kernel() {
+  Builder b("insert", 6, 2);
+  const std::int32_t state_base = b.arg(0);
+  const std::int32_t key_base = b.arg(1);
+  const std::int32_t mask = b.arg(2);
+  const std::int32_t key = b.arg(4);
+  const std::int32_t limit = b.arg(5);
+  b.store_local(kLocIdx, b.arg(3));
+  b.store_local(kLocStep, b.konst(0));
+
+  const std::uint32_t loop = b.new_block();
+  const std::uint32_t check_key = b.new_block();
+  const std::uint32_t next = b.new_block();
+  const std::uint32_t claim = b.new_block();
+  const std::uint32_t dup = b.new_block();
+  const std::uint32_t fail = b.new_block();
+  b.br(loop);
+
+  b.set_block(loop);
+  const std::int32_t s = b.tm_load(cell_addr(b, state_base));
+  b.cbr(b.cmp(Rel::NEQ, s, b.konst(kBusy)), claim, check_key);
+
+  b.set_block(check_key);
+  const std::int32_t k = b.tm_load(cell_addr(b, key_base));
+  b.cbr(b.cmp(Rel::EQ, k, key), dup, next);
+
+  b.set_block(next);
+  advance_probe(b, mask, limit, loop, fail);
+
+  b.set_block(claim);  // FREE or REMOVED cell: take it
+  b.tm_store(cell_addr(b, key_base), key);
+  b.tm_store(cell_addr(b, state_base), b.konst(kBusy));
+  b.ret(b.konst(1));
+
+  b.set_block(dup);
+  b.ret(b.konst(0));
+  b.set_block(fail);
+  b.ret(b.konst(0));
+  return b.take();
+}
+
+Function build_remove_kernel() {
+  Builder b("remove", 6, 2);
+  const std::int32_t state_base = b.arg(0);
+  const std::int32_t key_base = b.arg(1);
+  const std::int32_t mask = b.arg(2);
+  const std::int32_t key = b.arg(4);
+  const std::int32_t limit = b.arg(5);
+  b.store_local(kLocIdx, b.arg(3));
+  b.store_local(kLocStep, b.konst(0));
+
+  const std::uint32_t loop = b.new_block();
+  const std::uint32_t check_key = b.new_block();
+  const std::uint32_t key_cmp = b.new_block();
+  const std::uint32_t next = b.new_block();
+  const std::uint32_t kill = b.new_block();
+  const std::uint32_t absent = b.new_block();
+  b.br(loop);
+
+  b.set_block(loop);
+  const std::int32_t s1 = b.tm_load(cell_addr(b, state_base));
+  b.cbr(b.cmp(Rel::EQ, s1, b.konst(kFree)), absent, check_key);
+
+  b.set_block(check_key);
+  const std::int32_t s2 = b.tm_load(cell_addr(b, state_base));
+  b.cbr(b.cmp(Rel::EQ, s2, b.konst(kRemoved)), next, key_cmp);
+  b.set_block(key_cmp);
+  const std::int32_t k = b.tm_load(cell_addr(b, key_base));
+  b.cbr(b.cmp(Rel::EQ, k, key), kill, next);
+
+  b.set_block(next);
+  advance_probe(b, mask, limit, loop, absent);
+
+  b.set_block(kill);
+  b.tm_store(cell_addr(b, state_base), b.konst(kRemoved));
+  b.ret(b.konst(1));
+  b.set_block(absent);
+  b.ret(b.konst(0));
+  return b.take();
+}
+
+Function build_reserve_kernel(unsigned candidates) {
+  // locals: 0 = max_price, 1 = best numFree address (0 = none)
+  Builder b("reserve", 2 + candidates, 2);
+  const std::int32_t numfree_base = b.arg(0);
+  const std::int32_t price_base = b.arg(1);
+  b.store_local(0, b.konst(static_cast<word_t>(-1)));
+  b.store_local(1, b.konst(0));
+
+  // Algorithm 4's candidate loop, unrolled (GIMPLE would unroll or we
+  // would iterate over an id array; the access pattern is identical).
+  for (unsigned q = 0; q < candidates; ++q) {
+    const std::int32_t id = b.arg(2 + q);
+    const std::int32_t off = b.mul(id, b.konst(8));
+    const std::int32_t f_addr = b.add(numfree_base, off);
+    const std::int32_t f = b.tm_load(f_addr);
+    const std::uint32_t check_price = b.new_block();
+    const std::uint32_t next = b.new_block();
+    b.cbr(b.cmp(Rel::SGT, f, b.konst(0)), check_price, next);  // numFree > 0
+
+    b.set_block(check_price);
+    const std::int32_t p = b.tm_load(b.add(price_base, off));
+    const std::int32_t mp = b.load_local(0);
+    const std::uint32_t take = b.new_block();
+    b.cbr(b.cmp(Rel::SGT, p, mp), take, next);  // price > max_price
+
+    b.set_block(take);
+    b.store_local(0, p);       // max_price = price (the read stays live)
+    b.store_local(1, f_addr);  // remember the record
+    b.br(next);
+
+    b.set_block(next);
+  }
+
+  const std::int32_t best = b.load_local(1);
+  const std::uint32_t do_inc = b.new_block();
+  const std::uint32_t none = b.new_block();
+  b.cbr(b.cmp(Rel::NEQ, best, b.konst(0)), do_inc, none);
+
+  b.set_block(do_inc);  // TM_INC(numFree, -1): load + sub + store pattern
+  const std::int32_t cur = b.tm_load(best);
+  b.tm_store(best, b.sub(cur, b.konst(1)));
+  b.ret(b.konst(1));
+
+  b.set_block(none);
+  b.ret(b.konst(0));
+  return b.take();
+}
+
+Function build_center_update_kernel(unsigned features) {
+  Builder b("center_update", 2 + features, 0);
+  const std::int32_t len_addr = b.arg(0);
+  const std::int32_t center_base = b.arg(1);
+
+  // new_centers_len[index]++
+  const std::int32_t len = b.tm_load(len_addr);
+  b.tm_store(len_addr, b.add(len, b.konst(1)));
+
+  // new_centers[index][j] += feature[j]
+  for (unsigned j = 0; j < features; ++j) {
+    const std::int32_t addr =
+        b.add(center_base, b.konst(static_cast<word_t>(j) * 8));
+    const std::int32_t c = b.tm_load(addr);
+    b.tm_store(addr, b.add(c, b.arg(2 + j)));
+  }
+  b.ret(b.konst(0));
+  return b.take();
+}
+
+}  // namespace semstm::tmir

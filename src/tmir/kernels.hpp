@@ -1,0 +1,39 @@
+// Pre-built tmir kernels: the transactional code regions of the Figure 2
+// benchmarks, expressed in IR as a compiler front end would emit them —
+// plain TM loads/stores and ordinary compares/branches. Running
+// pass_tm_mark + pass_tm_optimize over them produces the semantic
+// (_ITM_S1R/S2R/SW) forms, exactly the paper's GCC pipeline.
+#pragma once
+
+#include "tmir/ir.hpp"
+
+namespace semstm::tmir {
+
+/// Open-addressing probe (Algorithm 2).
+/// args: [0]=state_base [1]=key_base [2]=mask [3]=start_index [4]=key
+///       [5]=probe_limit
+/// returns 1 if key found, 0 otherwise.
+Function build_probe_kernel();
+
+/// Insert: probe for the key or the first FREE cell; claim it.
+/// args as probe. Returns 1 if inserted, 0 if already present / gave up.
+Function build_insert_kernel();
+
+/// Remove: probe for the key; tombstone it. Returns 1 if removed.
+Function build_remove_kernel();
+
+/// Vacation reservation check (Algorithm 4) over `candidates` records.
+/// args: [0]=numfree_base [1]=price_base [2..2+candidates)=record ids.
+/// Scans candidates (numFree > 0, price > max_price), then decrements the
+/// chosen record's numFree. Returns the chosen id + 1, or 0 if none.
+Function build_reserve_kernel(unsigned candidates);
+
+/// Kmeans centre update (Algorithm 5):
+/// args: [0]=len_addr [1]=center_base [2]=feature_base(non-TM constants
+/// passed as immediate array base is not needed — features come as args)
+/// Simplified: [0]=len_addr, [1]=center_base, [2..2+features)=feature
+/// values. Increments the length counter and adds each feature into the
+/// corresponding centre cell.
+Function build_center_update_kernel(unsigned features);
+
+}  // namespace semstm::tmir

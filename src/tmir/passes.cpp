@@ -1,0 +1,193 @@
+#include "tmir/passes.hpp"
+
+#include <vector>
+
+namespace semstm::tmir {
+
+namespace {
+
+/// Mirror a relation across operand swap: (a REL b) == (b mirror(REL) a).
+Rel mirror(Rel r) noexcept {
+  switch (r) {
+    case Rel::EQ:  return Rel::EQ;
+    case Rel::NEQ: return Rel::NEQ;
+    case Rel::SLT: return Rel::SGT;
+    case Rel::SLE: return Rel::SGE;
+    case Rel::SGT: return Rel::SLT;
+    case Rel::SGE: return Rel::SLE;
+    case Rel::ULT: return Rel::UGT;
+    case Rel::ULE: return Rel::UGE;
+    case Rel::UGT: return Rel::ULT;
+    case Rel::UGE: return Rel::ULE;
+  }
+  return r;
+}
+
+/// Map temp -> its defining instruction (temps are single-assignment).
+std::vector<Instr*> def_map(Function& f) {
+  std::vector<Instr*> defs(f.num_temps, nullptr);
+  for (Block& b : f.blocks) {
+    for (Instr& i : b.code) {
+      if (!i.dead && produces_value(i.op) && i.dst >= 0) {
+        defs[static_cast<std::size_t>(i.dst)] = &i;
+      }
+    }
+  }
+  return defs;
+}
+
+bool is_literal_or_local(const Instr* def) noexcept {
+  return def != nullptr && (def->op == Op::kConst || def->op == Op::kArg ||
+                            def->op == Op::kLoadLocal);
+}
+
+bool defined_in_block(const Block& b, const Instr* def) noexcept {
+  return def >= b.code.data() && def < b.code.data() + b.code.size();
+}
+
+/// Visit every temp operand of an instruction (excluding block ids).
+template <typename Fn>
+void for_each_use(const Instr& i, Fn&& fn) {
+  switch (i.op) {
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kAnd:
+    case Op::kCmp:
+    case Op::kTmStore:
+    case Op::kTmCmp1:
+    case Op::kTmCmp2:
+    case Op::kTmInc:
+      fn(i.a);
+      fn(i.b);
+      break;
+    case Op::kTmLoad:
+    case Op::kStoreLocal:
+    case Op::kCbr:  // b is a block id, not a temp
+      fn(i.a);
+      break;
+    case Op::kRet:
+      if (i.a >= 0) fn(i.a);
+      break;
+    default:
+      break;  // kConst/kArg/kLoadLocal/kBr: no temp uses
+  }
+}
+
+}  // namespace
+
+MarkStats pass_tm_mark(Function& f) {
+  MarkStats stats;
+  auto defs = def_map(f);
+
+  for (Block& b : f.blocks) {
+    // Which temps feed a conditional branch in this block?
+    std::vector<bool> feeds_cbr(f.num_temps, false);
+    for (const Instr& i : b.code) {
+      if (i.op == Op::kCbr && i.a >= 0) {
+        feeds_cbr[static_cast<std::size_t>(i.a)] = true;
+      }
+    }
+
+    for (Instr& i : b.code) {
+      if (i.dead) continue;
+
+      // -- cmp pattern: conditional over direct TM load origins ------------
+      if (i.op == Op::kCmp && i.dst >= 0 &&
+          feeds_cbr[static_cast<std::size_t>(i.dst)]) {
+        Instr* da = i.a >= 0 ? defs[static_cast<std::size_t>(i.a)] : nullptr;
+        Instr* db = i.b >= 0 ? defs[static_cast<std::size_t>(i.b)] : nullptr;
+        const bool a_load = da != nullptr && da->op == Op::kTmLoad &&
+                            defined_in_block(b, da);
+        const bool b_load = db != nullptr && db->op == Op::kTmLoad &&
+                            defined_in_block(b, db);
+        if (a_load && b_load) {
+          // _ITM_S2R: both origins are direct transactional accesses.
+          i.op = Op::kTmCmp2;
+          i.a = da->a;  // address temps
+          i.b = db->a;
+          ++stats.s2r;
+        } else if (a_load && is_literal_or_local(db)) {
+          i.op = Op::kTmCmp1;
+          i.a = da->a;
+          ++stats.s1r;
+        } else if (b_load && is_literal_or_local(da)) {
+          // (value REL load) == (load mirror(REL) value).
+          const std::int32_t value_temp = i.a;
+          i.op = Op::kTmCmp1;
+          i.rel = mirror(i.rel);
+          i.a = db->a;       // address temp of the load
+          i.b = value_temp;  // literal/local operand
+          ++stats.s1r;
+        }
+        continue;
+      }
+
+      // -- inc pattern: TM_STORE(addr, TM_LOAD(addr) +/- delta) ------------
+      if (i.op == Op::kTmStore && i.b >= 0) {
+        Instr* dv = defs[static_cast<std::size_t>(i.b)];
+        if (dv == nullptr || !defined_in_block(b, dv)) continue;
+        if (dv->op != Op::kAdd && dv->op != Op::kSub) continue;
+        Instr* dx = dv->a >= 0 ? defs[static_cast<std::size_t>(dv->a)] : nullptr;
+        Instr* dy = dv->b >= 0 ? defs[static_cast<std::size_t>(dv->b)] : nullptr;
+
+        // load on the left: store(addr, load(addr) +/- delta)
+        if (dx != nullptr && dx->op == Op::kTmLoad && dx->a == i.a &&
+            is_literal_or_local(dy)) {
+          i.op = Op::kTmInc;
+          i.b = dv->b;                            // delta temp
+          i.imm = dv->op == Op::kSub ? 1 : 0;     // 1 = negate delta
+          ++stats.sw;
+          continue;
+        }
+        // load on the right (add only: c - load is not an increment)
+        if (dv->op == Op::kAdd && dy != nullptr && dy->op == Op::kTmLoad &&
+            dy->a == i.a && is_literal_or_local(dx)) {
+          i.op = Op::kTmInc;
+          i.b = dv->a;
+          i.imm = 0;
+          ++stats.sw;
+          continue;
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+OptimizeStats pass_tm_optimize(Function& f) {
+  OptimizeStats stats;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<std::uint32_t> uses(f.num_temps, 0);
+    for (const Block& b : f.blocks) {
+      for (const Instr& i : b.code) {
+        if (i.dead) continue;
+        for_each_use(i, [&](std::int32_t t) {
+          if (t >= 0) ++uses[static_cast<std::size_t>(t)];
+        });
+      }
+    }
+    for (Block& b : f.blocks) {
+      for (Instr& i : b.code) {
+        if (i.dead || !produces_value(i.op) || i.dst < 0) continue;
+        if (uses[static_cast<std::size_t>(i.dst)] != 0) continue;
+        // Never-live definition. TmCmp builtins are pure too, but removing
+        // them is left to tm_mark's caller (they carry the semantics the
+        // programmer asked for); everything else pure goes.
+        if (i.op == Op::kTmCmp1 || i.op == Op::kTmCmp2) continue;
+        i.dead = true;
+        changed = true;
+        if (i.op == Op::kTmLoad) {
+          ++stats.removed_tm_loads;
+        } else {
+          ++stats.removed_other;
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace semstm::tmir

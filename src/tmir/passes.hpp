@@ -1,0 +1,41 @@
+// The paper's two GIMPLE passes (§6), reimplemented over tmir.
+#pragma once
+
+#include "tmir/ir.hpp"
+
+namespace semstm::tmir {
+
+struct MarkStats {
+  std::size_t s1r = 0;  ///< cmps rewritten to _ITM_S1R (address–value)
+  std::size_t s2r = 0;  ///< cmps rewritten to _ITM_S2R (address–address)
+  std::size_t sw = 0;   ///< stores rewritten to _ITM_SW (increment)
+};
+
+/// tm_mark extension: detect the cmp and inc code patterns.
+///
+///  - cmp: a kCmp feeding a conditional branch whose operand origins are
+///    one (or two) direct TM loads, the other a literal or local — rewrite
+///    to kTmCmp1 / kTmCmp2. The feeding TM loads are left in place (they
+///    become never-live and are removed by tm_optimize), matching the
+///    paper's two-pass structure.
+///  - inc: a kTmStore whose stored value originates from `TM_LOAD(same
+///    address) +/- (literal | local)` — rewrite to kTmInc.
+///
+/// Pattern matching is local (origins must be in the same block as the
+/// use), mirroring the paper's "we look for simple expression patterns
+/// that usually reside in the same basic block — no complex alias
+/// analysis".
+MarkStats pass_tm_mark(Function& f);
+
+struct OptimizeStats {
+  std::size_t removed_tm_loads = 0;
+  std::size_t removed_other = 0;
+};
+
+/// tm_optimize: remove TM reads (and other pure statements) that define
+/// never-live temporaries — notably the read half of every rewritten
+/// increment. Conservative: only statements whose result is provably
+/// unused (single-assignment temps with zero uses) are removed.
+OptimizeStats pass_tm_optimize(Function& f);
+
+}  // namespace semstm::tmir

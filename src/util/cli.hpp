@@ -1,0 +1,76 @@
+// Minimal command-line option parsing for the benchmark binaries.
+//
+// Supports "--key=value", "--key value" and bare "--flag" forms. Unknown
+// arguments are reported so that typos in sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace semstm {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unrecognized argument: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      arg = arg.substr(2);
+      auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        kv_[arg] = argv[++i];
+      } else {
+        kv_[arg] = "1";  // bare flag
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return kv_.count(key) != 0; }
+
+  std::string get(const std::string& key, const std::string& dflt) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : it->second;
+  }
+
+  std::int64_t get_int(const std::string& key, std::int64_t dflt) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+
+  double get_double(const std::string& key, double dflt) const {
+    auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : std::strtod(it->second.c_str(), nullptr);
+  }
+
+  /// Parse "1,2,4,8" style lists (used for thread sweeps).
+  std::vector<unsigned> get_list(const std::string& key,
+                                 std::vector<unsigned> dflt) const {
+    auto it = kv_.find(key);
+    if (it == kv_.end()) return dflt;
+    std::vector<unsigned> out;
+    const std::string& s = it->second;
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+      auto comma = s.find(',', pos);
+      if (comma == std::string::npos) comma = s.size();
+      out.push_back(static_cast<unsigned>(
+          std::strtoul(s.substr(pos, comma - pos).c_str(), nullptr, 10)));
+      pos = comma + 1;
+    }
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace semstm

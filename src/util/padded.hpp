@@ -1,0 +1,28 @@
+// Cache-line padding helpers to avoid false sharing between per-thread slots.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace semstm {
+
+// Fixed at 64 (the x86-64 line size) rather than
+// std::hardware_destructive_interference_size so the layout is ABI-stable
+// across translation units and compiler flags.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// A T padded out to (a multiple of) a cache line.
+template <typename T>
+struct alignas(kCacheLine) Padded {
+  T value{};
+
+  Padded() = default;
+  explicit Padded(const T& v) : value(v) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+}  // namespace semstm

@@ -1,0 +1,83 @@
+// Bank micro-benchmark (paper §7): each transaction performs up to 10
+// transfers between accounts, each guarded by an overdraft check ("skip
+// the transfer if the account balance is insufficient").
+//
+// Semantic build: the overdraft check is TM_GTE and the balance moves are
+// TM_INC/TM_DEC. Base build: plain transactional reads/writes.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "containers/tarray.hpp"
+#include "core/atomically.hpp"
+#include "workloads/driver.hpp"
+
+namespace semstm {
+
+class BankWorkload final : public Workload {
+ public:
+  struct Params {
+    std::size_t accounts = 1024;
+    long initial_balance = 1000;
+    unsigned max_transfers_per_tx = 10;
+    long max_amount = 100;
+  };
+
+  BankWorkload(Params p, bool semantic)
+      : p_(p), semantic_(semantic), accounts_(p.accounts, p.initial_balance) {}
+
+  void op(unsigned, Rng& rng) override {
+    // Pre-draw the transfer plan outside the transaction so retries replay
+    // the same logical operation.
+    struct Transfer {
+      std::size_t src, dst;
+      long amount;
+    };
+    Transfer plan[16];
+    const unsigned n =
+        1 + static_cast<unsigned>(rng.below(p_.max_transfers_per_tx));
+    for (unsigned i = 0; i < n; ++i) {
+      plan[i].src = static_cast<std::size_t>(rng.below(p_.accounts));
+      plan[i].dst = static_cast<std::size_t>(rng.below(p_.accounts));
+      plan[i].amount = rng.between(1, p_.max_amount);
+    }
+    atomically([&](Tx& tx) {
+      for (unsigned i = 0; i < n; ++i) {
+        const auto& t = plan[i];
+        if (t.src == t.dst) continue;
+        if (semantic_) {
+          if (accounts_[t.src].gte(tx, t.amount)) {  // TM_GTE
+            accounts_[t.src].sub(tx, t.amount);      // TM_DEC
+            accounts_[t.dst].add(tx, t.amount);      // TM_INC
+          }
+        } else {
+          const long balance = accounts_[t.src].get(tx);
+          if (balance >= t.amount) {
+            accounts_[t.src].set(tx, balance - t.amount);
+            accounts_[t.dst].set(tx, accounts_[t.dst].get(tx) + t.amount);
+          }
+        }
+      }
+    });
+  }
+
+  void verify() override {
+    long long total = 0;
+    for (std::size_t i = 0; i < p_.accounts; ++i) {
+      const long b = accounts_[i].unsafe_get();
+      if (b < 0) throw std::logic_error("bank: overdraft detected");
+      total += b;
+    }
+    const long long expected =
+        static_cast<long long>(p_.accounts) * p_.initial_balance;
+    if (total != expected) throw std::logic_error("bank: money not conserved");
+  }
+
+ private:
+  Params p_;
+  bool semantic_;
+  TArray<long> accounts_;
+};
+
+}  // namespace semstm

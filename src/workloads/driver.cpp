@@ -1,0 +1,68 @@
+#include "workloads/driver.hpp"
+
+#include <vector>
+
+#include "core/context.hpp"
+#include "sched/thread_runner.hpp"
+#include "sched/virtual_scheduler.hpp"
+#include "util/timing.hpp"
+
+namespace semstm {
+
+RunResult run_workload(const RunConfig& cfg, Workload& workload) {
+  auto algo = make_algorithm(cfg.algo, cfg.algo_opts);
+
+  SplitMix64 seeder(cfg.seed);
+  const std::uint64_t setup_seed = seeder.next();
+  Rng setup_rng(setup_seed);
+  workload.setup(setup_rng);
+
+  // Descriptors and RNG streams are created up front so results do not
+  // depend on thread startup order.
+  std::vector<std::unique_ptr<ThreadCtx>> ctxs;
+  std::vector<Rng> rngs;
+  ctxs.reserve(cfg.threads);
+  rngs.reserve(cfg.threads);
+  for (unsigned t = 0; t < cfg.threads; ++t) {
+    const std::uint64_t s = seeder.next();
+    ctxs.push_back(std::make_unique<ThreadCtx>(algo->make_tx(), s ^ 0xB0FF));
+    rngs.emplace_back(s);
+  }
+
+  auto body = [&](unsigned tid) {
+    CtxBinder bind(*ctxs[tid]);
+    Rng& rng = rngs[tid];
+    for (std::uint64_t i = 0; i < cfg.ops_per_thread; ++i) {
+      workload.op(tid, rng);
+    }
+  };
+
+  RunResult r;
+  Timer timer;
+  if (cfg.mode == ExecMode::kSim) {
+    sched::VirtualScheduler sim(
+        sched::SimOptions{.seed = seeder.next(), .quantum = cfg.sim_quantum});
+    const sched::SimResult sr = sim.run(cfg.threads, body);
+    r.makespan = sr.makespan;
+    r.wall_seconds = timer.seconds();
+  } else {
+    const sched::RealResult rr = sched::run_threads(cfg.threads, body);
+    r.wall_seconds = rr.seconds;
+  }
+
+  for (const auto& ctx : ctxs) r.stats += ctx->tx->stats;
+  r.abort_pct = r.stats.abort_pct();
+  if (cfg.mode == ExecMode::kSim) {
+    r.throughput = r.makespan == 0
+                       ? 0.0
+                       : static_cast<double>(r.stats.commits) * 1e6 /
+                             static_cast<double>(r.makespan);
+  } else {
+    r.throughput = r.wall_seconds == 0.0
+                       ? 0.0
+                       : static_cast<double>(r.stats.commits) / r.wall_seconds;
+  }
+  return r;
+}
+
+}  // namespace semstm

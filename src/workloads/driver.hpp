@@ -1,0 +1,57 @@
+// The experiment driver: runs a Workload under (algorithm × execution mode
+// × thread count) and aggregates statistics — the engine behind every
+// figure bench.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/algorithm.hpp"
+#include "core/stats.hpp"
+#include "util/rng.hpp"
+
+namespace semstm {
+
+/// A benchmark workload. setup() runs once (non-transactionally); op()
+/// executes one outer operation — usually exactly one transaction — and is
+/// called ops_per_thread times per logical thread; verify() checks
+/// workload invariants after the run (used by the integration tests).
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  virtual void setup(Rng& rng) { (void)rng; }
+  virtual void op(unsigned tid, Rng& rng) = 0;
+  virtual void verify() {}
+};
+
+enum class ExecMode : std::uint8_t {
+  kSim,   ///< fiber-based virtual N-core scheduler (deterministic)
+  kReal,  ///< real std::thread concurrency
+};
+
+struct RunConfig {
+  std::string algo = "norec";
+  unsigned threads = 4;
+  ExecMode mode = ExecMode::kSim;
+  std::uint64_t ops_per_thread = 1000;
+  std::uint64_t seed = 0xC0FFEE;
+  AlgoOptions algo_opts{};
+  /// Simulator scheduling slack (see sched::SimOptions::quantum).
+  std::uint64_t sim_quantum = 0;
+};
+
+struct RunResult {
+  TxStats stats;                  ///< aggregated over all threads
+  std::uint64_t makespan = 0;     ///< virtual ticks (sim mode)
+  double wall_seconds = 0.0;      ///< wall time (both modes)
+  /// Committed transactions per unit of parallel time: per mega-tick in
+  /// sim mode, per second in real mode.
+  double throughput = 0.0;
+  double abort_pct = 0.0;
+};
+
+/// Execute `workload` under `cfg`. setup() is called before threads start.
+RunResult run_workload(const RunConfig& cfg, Workload& workload);
+
+}  // namespace semstm

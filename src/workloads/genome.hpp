@@ -1,0 +1,108 @@
+// Genome (STAMP): gene sequencing. The transactional hot phase inserts DNA
+// segments into a shared chained hash set to deduplicate them; the reads
+// are chain traversals comparing segment keys.
+//
+// As in the paper (Table 3), Genome exposes essentially no TM-friendly
+// semantics to the compiler pass — STAMP's hashtable compares keys through
+// a function-pointer comparator the pass cannot see through — so both the
+// base and "semantic" builds of this workload use plain reads/writes. It
+// exists to reproduce the Table 3 profile (read-heavy, few writes, ~zero
+// semantic operations), which is why the paper excludes it from Figure 1.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+
+#include "containers/tarray.hpp"
+#include "core/atomically.hpp"
+#include "workloads/driver.hpp"
+
+namespace semstm {
+
+class GenomeWorkload final : public Workload {
+ public:
+  struct Params {
+    std::size_t buckets = 64;          // few buckets -> long chains (reads)
+    std::size_t segment_space = 1024;  // distinct segment values
+    unsigned segments_per_tx = 4;
+    std::size_t pool_capacity = 1 << 16;
+  };
+
+  GenomeWorkload(Params p, bool /*semantic: intentionally unused*/)
+      : p_(p),
+        heads_(p.buckets, nullptr),
+        pool_(std::make_unique<Node[]>(p.pool_capacity)) {}
+
+  void op(unsigned, Rng& rng) override {
+    std::int64_t segs[8];
+    for (unsigned i = 0; i < p_.segments_per_tx; ++i) {
+      segs[i] = static_cast<std::int64_t>(rng.below(p_.segment_space));
+    }
+    atomically([&](Tx& tx) {
+      for (unsigned i = 0; i < p_.segments_per_tx; ++i) {
+        insert_unique(tx, segs[i]);
+      }
+    });
+  }
+
+  void verify() override {
+    // Deduplication invariant: no segment value appears twice in a chain.
+    for (std::size_t b = 0; b < p_.buckets; ++b) {
+      for (Node* n = heads_[b].unsafe_get(); n != nullptr;
+           n = n->next.unsafe_get()) {
+        for (Node* m = n->next.unsafe_get(); m != nullptr;
+             m = m->next.unsafe_get()) {
+          if (n->key.unsafe_get() == m->key.unsafe_get()) {
+            throw std::logic_error("genome: duplicate segment inserted");
+          }
+        }
+      }
+    }
+  }
+
+  std::size_t unsafe_unique_segments() const {
+    std::size_t n = 0;
+    for (std::size_t b = 0; b < p_.buckets; ++b) {
+      for (Node* node = heads_[b].unsafe_get(); node != nullptr;
+           node = node->next.unsafe_get()) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+ private:
+  struct Node {
+    TVar<std::int64_t> key;
+    TVar<Node*> next{nullptr};
+  };
+
+  void insert_unique(Tx& tx, std::int64_t key) {
+    const std::size_t b =
+        static_cast<std::size_t>(static_cast<std::uint64_t>(key) *
+                                 0x9E3779B97F4A7C15ULL >> 32) %
+        p_.buckets;
+    Node* head = heads_[b].get(tx);
+    for (Node* n = head; n != nullptr; n = n->next.get(tx)) {
+      if (n->key.get(tx) == key) return;  // already deduplicated
+    }
+    const std::size_t slot = next_.fetch_add(1, std::memory_order_acq_rel);
+    if (slot >= p_.pool_capacity) {
+      throw std::logic_error("genome: node pool exhausted");
+    }
+    Node* fresh = &pool_[slot];
+    fresh->key.unsafe_set(key);
+    fresh->next.unsafe_set(nullptr);
+    fresh->next.set(tx, head);  // prepend
+    heads_[b].set(tx, fresh);
+  }
+
+  Params p_;
+  TArray<Node*> heads_;
+  std::unique_ptr<Node[]> pool_;
+  std::atomic<std::size_t> next_{0};
+};
+
+}  // namespace semstm

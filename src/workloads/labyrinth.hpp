@@ -1,0 +1,202 @@
+// Labyrinth (STAMP): a multi-path maze router on a three-dimensional
+// uniform grid (Lee's algorithm). Each transaction routes one point pair:
+// it expands a breadth-first wavefront over a *private copy* of the grid,
+// backtraces a path, then validates that every path cell is still empty —
+// the isEmpty-style checks the paper turns into semantic TM_EQ compares —
+// and claims the cells.
+//
+// Two variants, matching Figures 1k-1n:
+//  - kCopyInsideTx ("Labyrinth 1"): the grid snapshot + expansion happen
+//    inside the transaction, so an abort redoes all of it (long txs).
+//  - kCopyOutsideTx ("Labyrinth 2", the [Ruan et al. 2014] optimization):
+//    snapshot + expansion run before the transaction; the transaction only
+//    validates and writes the path (short txs, less gain from semantics).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "containers/tarray.hpp"
+#include "core/atomically.hpp"
+#include "workloads/driver.hpp"
+
+namespace semstm {
+
+class LabyrinthWorkload final : public Workload {
+ public:
+  enum class Variant { kCopyInsideTx, kCopyOutsideTx };
+
+  struct Params {
+    std::size_t x = 48, y = 48, z = 3;
+    Variant variant = Variant::kCopyInsideTx;
+    unsigned route_attempts = 3;  // re-expansions before giving up a pair
+  };
+
+  LabyrinthWorkload(Params p, bool semantic)
+      : p_(p),
+        semantic_(semantic),
+        cells_(p.x * p.y * p.z),
+        grid_(p.x * p.y * p.z, kEmpty) {}
+
+  void op(unsigned, Rng& rng) override {
+    const std::size_t src = random_cell(rng);
+    const std::size_t dst = random_cell(rng);
+    if (src == dst) return;
+
+    for (unsigned attempt = 0; attempt < p_.route_attempts; ++attempt) {
+      // The lambda returns the number of cells claimed (0 = failed), so the
+      // bookkeeping below only counts *committed* claims exactly once.
+      std::size_t claimed = 0;
+      const std::int64_t path_id =
+          1 + static_cast<std::int64_t>(
+                  next_path_.fetch_add(1, std::memory_order_acq_rel));
+
+      if (p_.variant == Variant::kCopyOutsideTx) {
+        // Optimized variant: snapshot + expansion outside the transaction.
+        std::vector<std::size_t> path = expand(snapshot(), src, dst);
+        if (path.empty()) return;  // permanently blocked
+        claimed = atomically([&](Tx& tx) -> std::size_t {
+          return claim_path(tx, path, path_id) ? path.size() : 0;
+        });
+      } else {
+        // Original variant: everything inside; an abort redoes the copy
+        // and the expansion.
+        claimed = atomically([&](Tx& tx) -> std::size_t {
+          std::vector<std::size_t> path = expand(snapshot(), src, dst);
+          if (path.empty()) return 0;
+          return claim_path(tx, path, path_id) ? path.size() : 0;
+        });
+      }
+      if (claimed > 0) {
+        total_path_cells_.fetch_add(claimed, std::memory_order_relaxed);
+        routed_count_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      // Validation failed against a concurrent route: re-expand on a fresh
+      // snapshot (STAMP's retry-on-failure loop).
+    }
+  }
+
+  void verify() override {
+    // Every claimed cell belongs to exactly one path (claim_path only
+    // writes cells it validated empty), so the number of non-empty cells
+    // must equal the total claimed length.
+    std::size_t occupied = 0;
+    for (std::size_t i = 0; i < cells_; ++i) {
+      if (grid_[i].unsafe_get() != kEmpty) ++occupied;
+    }
+    if (occupied != total_path_cells_.load(std::memory_order_relaxed)) {
+      throw std::logic_error("labyrinth: paths overlap or cells leaked");
+    }
+  }
+
+  std::uint64_t routed_count() const noexcept { return routed_count_.load(std::memory_order_relaxed); }
+
+ private:
+  static constexpr std::int64_t kEmpty = 0;
+
+  std::size_t random_cell(Rng& rng) const {
+    return static_cast<std::size_t>(rng.below(cells_));
+  }
+
+  std::size_t idx(std::size_t x, std::size_t y, std::size_t z) const {
+    return (z * p_.y + y) * p_.x + x;
+  }
+
+  /// Non-transactional snapshot of the grid (plain memcpy in STAMP; the
+  /// instrumented reads are only the per-path validation reads below).
+  std::vector<std::int64_t> snapshot() const {
+    std::vector<std::int64_t> copy(cells_);
+    for (std::size_t i = 0; i < cells_; ++i) copy[i] = grid_[i].unsafe_get();
+    sched::tick(sched::Cost::kWork * (cells_ / 64 + 1));  // charge the copy
+    return copy;
+  }
+
+  /// Lee-style BFS over the private snapshot; returns the dst->src path
+  /// (empty when unreachable).
+  std::vector<std::size_t> expand(std::vector<std::int64_t> copy,
+                                  std::size_t src, std::size_t dst) const {
+    std::vector<std::int32_t> dist(cells_, -1);
+    std::vector<std::size_t> queue;
+    queue.reserve(cells_);
+    dist[src] = 0;
+    queue.push_back(src);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const std::size_t c = queue[head];
+      if (c == dst) break;
+      const std::size_t cx = c % p_.x;
+      const std::size_t cy = (c / p_.x) % p_.y;
+      const std::size_t cz = c / (p_.x * p_.y);
+      const std::size_t neighbors[6] = {
+          cx > 0 ? idx(cx - 1, cy, cz) : c,
+          cx + 1 < p_.x ? idx(cx + 1, cy, cz) : c,
+          cy > 0 ? idx(cx, cy - 1, cz) : c,
+          cy + 1 < p_.y ? idx(cx, cy + 1, cz) : c,
+          cz > 0 ? idx(cx, cy, cz - 1) : c,
+          cz + 1 < p_.z ? idx(cx, cy, cz + 1) : c,
+      };
+      for (const std::size_t n : neighbors) {
+        if (n == c || dist[n] >= 0) continue;
+        if (n != dst && copy[n] != kEmpty) continue;
+        dist[n] = dist[c] + 1;
+        queue.push_back(n);
+      }
+    }
+    sched::tick(sched::Cost::kWork * (queue.size() / 16 + 1));  // expansion
+    if (dist[dst] < 0 || copy[dst] != kEmpty || copy[src] != kEmpty) {
+      return {};
+    }
+    // Backtrace from dst following decreasing distance.
+    std::vector<std::size_t> path;
+    std::size_t c = dst;
+    path.push_back(c);
+    while (c != src) {
+      const std::size_t cx = c % p_.x;
+      const std::size_t cy = (c / p_.x) % p_.y;
+      const std::size_t cz = c / (p_.x * p_.y);
+      const std::size_t neighbors[6] = {
+          cx > 0 ? idx(cx - 1, cy, cz) : c,
+          cx + 1 < p_.x ? idx(cx + 1, cy, cz) : c,
+          cy > 0 ? idx(cx, cy - 1, cz) : c,
+          cy + 1 < p_.y ? idx(cx, cy + 1, cz) : c,
+          cz > 0 ? idx(cx, cy, cz - 1) : c,
+          cz + 1 < p_.z ? idx(cx, cy, cz + 1) : c,
+      };
+      std::size_t next = c;
+      for (const std::size_t n : neighbors) {
+        if (n != c && dist[n] == dist[c] - 1) {
+          next = n;
+          break;
+        }
+      }
+      if (next == c) return {};  // should not happen
+      c = next;
+      path.push_back(c);
+    }
+    return path;
+  }
+
+  /// Transactional validation + claim. The emptiness checks are the
+  /// paper's semantic candidates (isEmpty -> TM_EQ).
+  bool claim_path(Tx& tx, const std::vector<std::size_t>& path,
+                  std::int64_t path_id) {
+    for (const std::size_t c : path) {
+      const bool empty =
+          semantic_ ? grid_[c].eq(tx, kEmpty) : grid_[c].get(tx) == kEmpty;
+      if (!empty) return false;  // taken since the snapshot
+    }
+    for (const std::size_t c : path) grid_[c].set(tx, path_id);
+    return true;
+  }
+
+  Params p_;
+  bool semantic_;
+  std::size_t cells_;
+  TArray<std::int64_t> grid_;
+  std::atomic<std::uint64_t> next_path_{0};
+  std::atomic<std::size_t> total_path_cells_{0};
+  std::atomic<std::uint64_t> routed_count_{0};
+};
+
+}  // namespace semstm

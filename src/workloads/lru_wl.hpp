@@ -1,0 +1,51 @@
+// LRU-Cache micro-benchmark (paper §7.1): an m × n software cache with
+// frequency-based replacement; "each transaction either sets or looks up
+// multiple entries in the cache".
+#pragma once
+
+#include <cstdint>
+
+#include "containers/tlru.hpp"
+#include "core/atomically.hpp"
+#include "workloads/driver.hpp"
+
+namespace semstm {
+
+class LruWorkload final : public Workload {
+ public:
+  struct Params {
+    std::size_t lines = 64;
+    std::size_t buckets = 8;
+    std::size_t key_space = 2048;
+    unsigned entries_per_tx = 4;
+    unsigned set_pct = 50;
+  };
+
+  LruWorkload(Params p, bool semantic)
+      : p_(p), cache_(p.lines, p.buckets, semantic) {}
+
+  void op(unsigned, Rng& rng) override {
+    std::int64_t keys[16];
+    for (unsigned i = 0; i < p_.entries_per_tx; ++i) {
+      keys[i] = static_cast<std::int64_t>(rng.below(p_.key_space));
+    }
+    const bool is_set = rng.percent(p_.set_pct);
+    atomically([&](Tx& tx) {
+      for (unsigned i = 0; i < p_.entries_per_tx; ++i) {
+        if (is_set) {
+          cache_.set(tx, keys[i], keys[i] * 2);
+        } else {
+          (void)cache_.lookup(tx, keys[i]);
+        }
+      }
+    });
+  }
+
+  const TLruCache& cache() const noexcept { return cache_; }
+
+ private:
+  Params p_;
+  TLruCache cache_;
+};
+
+}  // namespace semstm

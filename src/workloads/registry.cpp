@@ -1,0 +1,70 @@
+#include "workloads/registry.hpp"
+
+#include <stdexcept>
+
+#include "workloads/bank.hpp"
+#include "workloads/genome.hpp"
+#include "workloads/hashtable_wl.hpp"
+#include "workloads/intruder.hpp"
+#include "workloads/kmeans.hpp"
+#include "workloads/labyrinth.hpp"
+#include "workloads/lru_wl.hpp"
+#include "workloads/ssca2.hpp"
+#include "workloads/vacation.hpp"
+#include "workloads/yada.hpp"
+
+namespace semstm {
+
+const std::vector<std::string>& workload_names() {
+  static const std::vector<std::string> names = {
+      "hashtable", "bank", "lru",  "vacation", "kmeans",  "labyrinth",
+      "labyrinth2", "yada", "ssca2", "genome",  "intruder"};
+  return names;
+}
+
+std::unique_ptr<Workload> make_workload(std::string_view name, bool semantic) {
+  if (name == "hashtable") {
+    return std::make_unique<HashtableWorkload>(HashtableWorkload::Params{},
+                                               semantic);
+  }
+  if (name == "bank") {
+    return std::make_unique<BankWorkload>(BankWorkload::Params{}, semantic);
+  }
+  if (name == "lru") {
+    return std::make_unique<LruWorkload>(LruWorkload::Params{}, semantic);
+  }
+  if (name == "vacation") {
+    return std::make_unique<VacationWorkload>(VacationWorkload::Params{},
+                                              semantic);
+  }
+  if (name == "kmeans") {
+    return std::make_unique<KmeansWorkload>(KmeansWorkload::Params{},
+                                            semantic);
+  }
+  if (name == "labyrinth") {
+    return std::make_unique<LabyrinthWorkload>(LabyrinthWorkload::Params{},
+                                               semantic);
+  }
+  if (name == "labyrinth2") {
+    LabyrinthWorkload::Params p;
+    p.variant = LabyrinthWorkload::Variant::kCopyOutsideTx;
+    return std::make_unique<LabyrinthWorkload>(p, semantic);
+  }
+  if (name == "yada") {
+    return std::make_unique<YadaWorkload>(YadaWorkload::Params{}, semantic);
+  }
+  if (name == "ssca2") {
+    return std::make_unique<Ssca2Workload>(Ssca2Workload::Params{}, semantic);
+  }
+  if (name == "genome") {
+    return std::make_unique<GenomeWorkload>(GenomeWorkload::Params{},
+                                            semantic);
+  }
+  if (name == "intruder") {
+    return std::make_unique<IntruderWorkload>(IntruderWorkload::Params{},
+                                              semantic);
+  }
+  throw std::invalid_argument("unknown workload: " + std::string(name));
+}
+
+}  // namespace semstm

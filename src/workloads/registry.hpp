@@ -1,0 +1,24 @@
+// Workload registry: canonical instances of every benchmark in the
+// paper's evaluation (three micro-benchmarks + seven STAMP applications),
+// constructable by name in base or semantic form.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "workloads/driver.hpp"
+
+namespace semstm {
+
+/// All workload names, in the paper's Table 3 column order.
+const std::vector<std::string>& workload_names();
+
+/// Create a workload by name ("hashtable", "bank", "lru", "vacation",
+/// "kmeans", "labyrinth", "labyrinth2", "yada", "ssca2", "genome",
+/// "intruder") with default parameters. Throws std::invalid_argument for
+/// unknown names.
+std::unique_ptr<Workload> make_workload(std::string_view name, bool semantic);
+
+}  // namespace semstm

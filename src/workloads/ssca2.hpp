@@ -1,0 +1,78 @@
+// SSCA2 (STAMP): scalable graph-analysis kernel 1 — parallel construction
+// of the adjacency structure. Each transaction places one directed edge:
+// it reads the target node's insertion cursor, stores the edge endpoint,
+// and advances the cursor. The cursor bump is the paper's TM_INC candidate
+// (Table 3: base 2 reads / 2 writes vs semantic 1 read / 1 write / 1 inc).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "containers/tarray.hpp"
+#include "core/atomically.hpp"
+#include "workloads/driver.hpp"
+
+namespace semstm {
+
+class Ssca2Workload final : public Workload {
+ public:
+  struct Params {
+    std::size_t nodes = 512;
+    std::size_t max_degree = 64;
+  };
+
+  Ssca2Workload(Params p, bool semantic)
+      : p_(p),
+        semantic_(semantic),
+        cursor_(p.nodes, 0),
+        degree_(p.nodes, 0),
+        adjacency_(p.nodes * p.max_degree, -1) {}
+
+  void op(unsigned, Rng& rng) override {
+    const auto u = static_cast<std::size_t>(rng.below(p_.nodes));
+    const auto v = static_cast<std::int64_t>(rng.below(p_.nodes));
+    const bool placed = atomically([&](Tx& tx) -> bool {
+      const std::int64_t j = cursor_[u].get(tx);  // insertion point
+      if (j >= static_cast<std::int64_t>(p_.max_degree)) return false;
+      adjacency_[u * p_.max_degree + static_cast<std::size_t>(j)].set(tx, v);
+      if (semantic_) {
+        // The j-cursor was already read to place the edge, so bumping the
+        // *degree counter* is the clean TM_INC (no read of it needed).
+        cursor_[u].set(tx, j + 1);
+        degree_[u].add(tx, 1);  // TM_INC
+      } else {
+        cursor_[u].set(tx, j + 1);
+        degree_[u].set(tx, degree_[u].get(tx) + 1);
+      }
+      return true;
+    });
+    if (placed) edges_placed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void verify() override {
+    for (std::size_t u = 0; u < p_.nodes; ++u) {
+      const std::int64_t c = cursor_[u].unsafe_get();
+      if (c != degree_[u].unsafe_get()) {
+        throw std::logic_error("ssca2: cursor and degree diverged");
+      }
+      for (std::int64_t j = 0; j < c; ++j) {
+        if (adjacency_[u * p_.max_degree + static_cast<std::size_t>(j)]
+                .unsafe_get() < 0) {
+          throw std::logic_error("ssca2: hole in adjacency list");
+        }
+      }
+    }
+  }
+
+  std::uint64_t edges_placed() const noexcept { return edges_placed_.load(std::memory_order_relaxed); }
+
+ private:
+  Params p_;
+  bool semantic_;
+  TArray<std::int64_t> cursor_;
+  TArray<std::int64_t> degree_;
+  TArray<std::int64_t> adjacency_;
+  std::atomic<std::uint64_t> edges_placed_{0};
+};
+
+}  // namespace semstm

@@ -1,0 +1,138 @@
+// Yada (STAMP): Ruppert's Delaunay mesh refinement. Threads pull "bad"
+// triangles (minimum angle below a threshold), read the surrounding cavity
+// and retriangulate it, which may spoil neighbours and feed the worklist.
+//
+// Geometry substitution (see DESIGN.md): full Delaunay cavity computation
+// is replaced by a fixed triangle-adjacency mesh whose refinement step has
+// the same *transactional* shape — a couple of threshold checks (the cmp
+// candidates; Table 3 shows only ~5% of Yada's reads become compares),
+// a cavity's worth of structural reads (vertex coordinates + quality of
+// ~2 rings of neighbours), and a handful of writes that update the cavity
+// and degrade its boundary. Conflicts arise exactly as in Yada: between
+// refinements of overlapping cavities.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "containers/tarray.hpp"
+#include "core/atomically.hpp"
+#include "workloads/driver.hpp"
+
+namespace semstm {
+
+class YadaWorkload final : public Workload {
+ public:
+  struct Params {
+    std::size_t mesh_w = 48;        // triangles arranged on a W x H grid
+    std::size_t mesh_h = 48;
+    std::int64_t min_quality = 40;  // "minimum angle" threshold (scaled)
+    std::int64_t max_quality = 100;
+  };
+
+  YadaWorkload(Params p, bool semantic)
+      : p_(p),
+        semantic_(semantic),
+        count_(p.mesh_w * p.mesh_h),
+        quality_(count_, 0),
+        coords_(count_ * 6, 0) {}
+
+  void setup(Rng& rng) override {
+    for (std::size_t t = 0; t < count_; ++t) {
+      quality_[t].unsafe_set(rng.between(10, p_.max_quality));
+      for (std::size_t v = 0; v < 6; ++v) {
+        coords_[t * 6 + v].unsafe_set(rng.between(0, 1 << 20));
+      }
+    }
+  }
+
+  void op(unsigned, Rng& rng) override {
+    const std::size_t t = static_cast<std::size_t>(rng.below(count_));
+    const std::int64_t improved = rng.between(p_.min_quality, p_.max_quality);
+    const bool refined = atomically([&](Tx& tx) -> bool {
+      // Is this triangle bad? (the angle-threshold check — cmp candidate)
+      const bool bad = semantic_ ? quality_[t].lt(tx, p_.min_quality)
+                                 : quality_[t].get(tx) < p_.min_quality;
+      if (!bad) return false;
+
+      // Read the cavity: two rings of neighbours, vertex coordinates and
+      // quality — the structural reads that dominate Yada's profile.
+      std::int64_t checksum = 0;
+      for (const std::size_t n : cavity(t)) {
+        for (std::size_t v = 0; v < 6; ++v) {
+          checksum += coords_[n * 6 + v].get(tx);
+        }
+        checksum += quality_[t == n ? t : n].get(tx);
+      }
+
+      // Retriangulate: fix the centre, perturb its coordinates, and
+      // degrade the immediate boundary (which may create new bad work).
+      quality_[t].set(tx, improved);
+      for (std::size_t v = 0; v < 3; ++v) {
+        coords_[t * 6 + v].set(tx, (checksum >> v) & ((1 << 20) - 1));
+      }
+      for (const std::size_t n : ring1(t)) {
+        const std::int64_t q = quality_[n].get(tx);
+        if (q > p_.min_quality / 2) quality_[n].set(tx, q - 1);
+      }
+      return true;
+    });
+    if (refined) refinements_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void verify() override {
+    for (std::size_t t = 0; t < count_; ++t) {
+      const std::int64_t q = quality_[t].unsafe_get();
+      if (q < 0 || q > p_.max_quality) {
+        throw std::logic_error("yada: triangle quality out of range");
+      }
+    }
+  }
+
+  std::uint64_t refinements() const noexcept { return refinements_.load(std::memory_order_relaxed); }
+
+ private:
+  std::size_t clamp_idx(std::int64_t x, std::int64_t y) const {
+    const auto w = static_cast<std::int64_t>(p_.mesh_w);
+    const auto h = static_cast<std::int64_t>(p_.mesh_h);
+    x = (x % w + w) % w;
+    y = (y % h + h) % h;
+    return static_cast<std::size_t>(y * w + x);
+  }
+
+  /// Immediate neighbours (ring 1): shared-edge triangles.
+  std::vector<std::size_t> ring1(std::size_t t) const {
+    const auto x = static_cast<std::int64_t>(t % p_.mesh_w);
+    const auto y = static_cast<std::int64_t>(t / p_.mesh_w);
+    return {clamp_idx(x - 1, y), clamp_idx(x + 1, y), clamp_idx(x, y - 1),
+            clamp_idx(x, y + 1)};
+  }
+
+  /// The refinement cavity: centre + two rings (~13 triangles).
+  std::vector<std::size_t> cavity(std::size_t t) const {
+    const auto x = static_cast<std::int64_t>(t % p_.mesh_w);
+    const auto y = static_cast<std::int64_t>(t / p_.mesh_w);
+    std::vector<std::size_t> out;
+    out.reserve(13);
+    out.push_back(t);
+    for (std::int64_t dy = -2; dy <= 2; ++dy) {
+      for (std::int64_t dx = -2; dx <= 2; ++dx) {
+        if (dx == 0 && dy == 0) continue;
+        if (std::abs(dx) + std::abs(dy) <= 2) {
+          out.push_back(clamp_idx(x + dx, y + dy));
+        }
+      }
+    }
+    return out;
+  }
+
+  Params p_;
+  bool semantic_;
+  std::size_t count_;
+  TArray<std::int64_t> quality_;
+  TArray<std::int64_t> coords_;
+  std::atomic<std::uint64_t> refinements_{0};
+};
+
+}  // namespace semstm

@@ -1,0 +1,83 @@
+// Unit tests for read-set / compare-set entries and semantic validation.
+#include <gtest/gtest.h>
+
+#include "runtime/readset.hpp"
+
+namespace semstm {
+namespace {
+
+TEST(ReadSet, ValueEntryHoldsWhileValueUnchanged) {
+  ReadSet rs;
+  tword w{7};
+  rs.append_value(&w, 7);
+  EXPECT_TRUE(rs.begin()->holds());
+  w.store(8);
+  EXPECT_FALSE(rs.begin()->holds());  // value-based validation (NOrec)
+  w.store(7);
+  EXPECT_TRUE(rs.begin()->holds());   // ABA is fine for value validation
+}
+
+TEST(ReadSet, TrueCompareEntryStoresRelation) {
+  // x > 0 observed true: entry must keep holding while x stays positive,
+  // even when the exact value changes — the paper's "false conflict" case.
+  ReadSet rs;
+  tword x{to_word<std::int64_t>(5)};
+  rs.append_cmp(&x, Rel::SGT, to_word<std::int64_t>(0), /*outcome=*/true);
+  EXPECT_TRUE(rs.begin()->holds());
+  x.store(to_word<std::int64_t>(123));  // concurrent change, still > 0
+  EXPECT_TRUE(rs.begin()->holds());
+  x.store(to_word<std::int64_t>(-1));   // semantic violation
+  EXPECT_FALSE(rs.begin()->holds());
+}
+
+TEST(ReadSet, FalseCompareEntryStoresInverse) {
+  // x > 10 observed false: the inverse (x <= 10) must keep holding.
+  ReadSet rs;
+  tword x{to_word<std::int64_t>(5)};
+  rs.append_cmp(&x, Rel::SGT, to_word<std::int64_t>(10), /*outcome=*/false);
+  EXPECT_TRUE(rs.begin()->holds());
+  x.store(to_word<std::int64_t>(10));
+  EXPECT_TRUE(rs.begin()->holds());
+  x.store(to_word<std::int64_t>(11));
+  EXPECT_FALSE(rs.begin()->holds());
+}
+
+TEST(ReadSet, AddressAddressEntryComparesBothCurrentValues) {
+  ReadSet rs;
+  tword head{3};
+  tword tail{3};
+  rs.append_cmp2(&head, Rel::EQ, &tail, /*outcome=*/true);
+  EXPECT_TRUE(rs.begin()->holds());
+  // Both move together (enqueue+dequeue pair): relation still holds.
+  head.store(4);
+  tail.store(4);
+  EXPECT_TRUE(rs.begin()->holds());
+  tail.store(9);
+  EXPECT_FALSE(rs.begin()->holds());
+}
+
+TEST(ReadSet, DuplicateReadsGetIndependentEntries) {
+  // §4.1 read-after-read: two entries are appended, each validated on its
+  // own (the paper deliberately does not deduplicate).
+  ReadSet rs;
+  tword x{1};
+  rs.append_value(&x, 1);
+  rs.append_cmp(&x, Rel::SGT, 0, true);
+  EXPECT_EQ(rs.size(), 2u);
+  x.store(2);
+  auto it = rs.begin();
+  EXPECT_FALSE(it->holds());       // value entry breaks
+  EXPECT_TRUE((++it)->holds());    // semantic entry still true
+}
+
+TEST(ReadSet, ClearResets) {
+  ReadSet rs;
+  tword x{1};
+  rs.append_value(&x, 1);
+  rs.clear();
+  EXPECT_TRUE(rs.empty());
+  EXPECT_EQ(rs.size(), 0u);
+}
+
+}  // namespace
+}  // namespace semstm

@@ -1,0 +1,131 @@
+// Tests for the fiber-based virtual scheduler (the N-core simulator).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sched/virtual_scheduler.hpp"
+#include "sched/yieldpoint.hpp"
+
+namespace semstm::sched {
+namespace {
+
+TEST(VirtualScheduler, RunsEveryFiberToCompletion) {
+  VirtualScheduler sim;
+  std::vector<int> done(8, 0);
+  sim.run(8, [&](unsigned tid) { done[tid] = 1; });
+  for (int d : done) EXPECT_EQ(d, 1);
+}
+
+TEST(VirtualScheduler, ClocksAccumulateTickCosts) {
+  VirtualScheduler sim(SimOptions{.seed = 7, .jitter_pct = 0});
+  auto r = sim.run(2, [&](unsigned) {
+    for (int i = 0; i < 100; ++i) tick(3);
+  });
+  ASSERT_EQ(r.thread_clocks.size(), 2u);
+  EXPECT_EQ(r.thread_clocks[0], 300u);
+  EXPECT_EQ(r.thread_clocks[1], 300u);
+  EXPECT_EQ(r.makespan, 300u);
+}
+
+TEST(VirtualScheduler, MakespanModelsParallelism) {
+  // Two fibers doing the same work in "parallel" must have the makespan of
+  // one, not the sum — that is what makes simulated throughput scale.
+  VirtualScheduler sim(SimOptions{.seed = 1, .jitter_pct = 0});
+  auto r1 = sim.run(1, [&](unsigned) {
+    for (int i = 0; i < 1000; ++i) tick(1);
+  });
+  VirtualScheduler sim4(SimOptions{.seed = 1, .jitter_pct = 0});
+  auto r4 = sim4.run(4, [&](unsigned) {
+    for (int i = 0; i < 1000; ++i) tick(1);
+  });
+  EXPECT_EQ(r1.makespan, 1000u);
+  EXPECT_EQ(r4.makespan, 1000u);
+}
+
+TEST(VirtualScheduler, InterleavesAtOperationGranularity) {
+  // With min-clock scheduling and equal costs, two fibers must alternate —
+  // neither may run to completion before the other starts.
+  VirtualScheduler sim(SimOptions{.seed = 3, .jitter_pct = 0});
+  std::vector<unsigned> trace;
+  sim.run(2, [&](unsigned tid) {
+    for (int i = 0; i < 50; ++i) {
+      trace.push_back(tid);
+      tick(1);
+    }
+  });
+  ASSERT_EQ(trace.size(), 100u);
+  // Find the first occurrence of each tid; both must appear in the first
+  // handful of events.
+  unsigned first1 = 0;
+  while (first1 < trace.size() && trace[first1] != 1) ++first1;
+  EXPECT_LT(first1, 5u);
+}
+
+TEST(VirtualScheduler, DeterministicGivenSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    VirtualScheduler sim(SimOptions{.seed = seed});
+    std::vector<unsigned> trace;
+    auto r = sim.run(4, [&](unsigned tid) {
+      for (int i = 0; i < 200; ++i) {
+        trace.push_back(tid);
+        tick(2);
+      }
+    });
+    return std::make_pair(trace, r.makespan);
+  };
+  auto [t1, m1] = run_once(99);
+  auto [t2, m2] = run_once(99);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(m1, m2);
+  // Different seeds usually (not provably) differ; check over a few seeds.
+  bool any_different = false;
+  for (std::uint64_t s = 100; s < 105 && !any_different; ++s) {
+    any_different = (run_once(s).first != t1);
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(VirtualScheduler, SpinPauseAdvancesVirtualTime) {
+  // A fiber spin-waiting on a flag set by another fiber must not deadlock:
+  // spin_pause() burns virtual time so the setter gets scheduled.
+  VirtualScheduler sim(SimOptions{.seed = 5, .jitter_pct = 0});
+  bool flag = false;  // single carrier thread: plain bool is fine
+  sim.run(2, [&](unsigned tid) {
+    if (tid == 0) {
+      for (int i = 0; i < 100; ++i) tick(1);  // make the setter "slow"
+      flag = true;
+    } else {
+      while (!flag) spin_pause();
+    }
+  });
+  EXPECT_TRUE(flag);
+}
+
+TEST(VirtualScheduler, PropagatesFiberExceptions) {
+  VirtualScheduler sim;
+  struct Boom {};
+  EXPECT_THROW(sim.run(3,
+                       [&](unsigned tid) {
+                         tick(1);
+                         if (tid == 1) throw Boom{};
+                       }),
+               Boom);
+}
+
+TEST(VirtualScheduler, ReusableAcrossRuns) {
+  VirtualScheduler sim;
+  int total = 0;
+  sim.run(2, [&](unsigned) { ++total; });
+  sim.run(3, [&](unsigned) { ++total; });
+  EXPECT_EQ(total, 5);
+}
+
+TEST(VirtualScheduler, HookClearedOutsideRun) {
+  VirtualScheduler sim;
+  sim.run(1, [&](unsigned) { tick(1); });
+  EXPECT_EQ(hook(), nullptr);
+  tick(5);  // must be a harmless no-op in real mode
+}
+
+}  // namespace
+}  // namespace semstm::sched

@@ -1,0 +1,77 @@
+// Unit tests for the TM-friendly relation semantics (Table 1).
+#include <gtest/gtest.h>
+
+#include "core/semantics.hpp"
+#include "util/rng.hpp"
+
+namespace semstm {
+namespace {
+
+constexpr Rel kAllRels[] = {Rel::EQ,  Rel::NEQ, Rel::SLT, Rel::SLE, Rel::SGT,
+                            Rel::SGE, Rel::ULT, Rel::ULE, Rel::UGT, Rel::UGE};
+
+TEST(Semantics, SignedOrderedRelations) {
+  const word_t neg = to_word<std::int64_t>(-5);
+  const word_t pos = to_word<std::int64_t>(3);
+  EXPECT_TRUE(eval(Rel::SLT, neg, pos));
+  EXPECT_TRUE(eval(Rel::SLE, neg, pos));
+  EXPECT_FALSE(eval(Rel::SGT, neg, pos));
+  EXPECT_FALSE(eval(Rel::SGE, neg, pos));
+  EXPECT_TRUE(eval(Rel::SGE, pos, pos));
+  EXPECT_TRUE(eval(Rel::SLE, pos, pos));
+}
+
+TEST(Semantics, UnsignedOrderedRelations) {
+  // The same bit patterns compare the other way around unsigned.
+  const word_t neg = to_word<std::int64_t>(-5);  // huge unsigned
+  const word_t pos = to_word<std::int64_t>(3);
+  EXPECT_TRUE(eval(Rel::UGT, neg, pos));
+  EXPECT_FALSE(eval(Rel::ULT, neg, pos));
+}
+
+TEST(Semantics, EqualityRelations) {
+  EXPECT_TRUE(eval(Rel::EQ, 7, 7));
+  EXPECT_FALSE(eval(Rel::EQ, 7, 8));
+  EXPECT_TRUE(eval(Rel::NEQ, 7, 8));
+  EXPECT_FALSE(eval(Rel::NEQ, 7, 7));
+}
+
+TEST(Semantics, InverseIsAnInvolution) {
+  for (Rel r : kAllRels) EXPECT_EQ(inverse(inverse(r)), r) << rel_name(r);
+}
+
+// Property (core of semantic validation correctness): for every relation
+// and operand pair, exactly one of {rel, inverse(rel)} holds. This is what
+// lets Alg. 6 line 34 store "result ? OP : Inverse(OP)" and validate it.
+TEST(Semantics, RelationAndInverseAreComplementary) {
+  Rng rng(42);
+  for (int i = 0; i < 20000; ++i) {
+    const word_t a = rng.next() >> (rng.below(64));
+    const word_t b = rng.percent(30) ? a : (rng.next() >> rng.below(64));
+    for (Rel r : kAllRels) {
+      EXPECT_NE(eval(r, a, b), eval(inverse(r), a, b))
+          << rel_name(r) << " a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Semantics, RelPickersFollowSignedness) {
+  EXPECT_EQ(rel_lt<int>(), Rel::SLT);
+  EXPECT_EQ(rel_lt<unsigned>(), Rel::ULT);
+  EXPECT_EQ(rel_ge<long long>(), Rel::SGE);
+  EXPECT_EQ(rel_gt<std::uint8_t>(), Rel::UGT);
+  EXPECT_EQ(rel_le<std::int16_t>(), Rel::SLE);
+}
+
+TEST(Semantics, RelNamesAreUnique) {
+  for (Rel a : kAllRels) {
+    for (Rel b : kAllRels) {
+      if (a != b) {
+        EXPECT_STRNE(rel_name(a), rel_name(b));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace semstm

@@ -1,0 +1,63 @@
+// Unit tests for the transactional word encoding.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/semantics.hpp"
+#include "core/word.hpp"
+
+namespace semstm {
+namespace {
+
+TEST(Word, RoundTripsIntegrals) {
+  EXPECT_EQ(from_word<int>(to_word(42)), 42);
+  EXPECT_EQ(from_word<int>(to_word(-42)), -42);
+  EXPECT_EQ(from_word<std::int64_t>(to_word<std::int64_t>(-1)), -1);
+  EXPECT_EQ(from_word<std::uint8_t>(to_word<std::uint8_t>(200)), 200);
+  EXPECT_EQ(from_word<std::uint64_t>(to_word<std::uint64_t>(~0ULL)), ~0ULL);
+  EXPECT_EQ(from_word<bool>(to_word(true)), true);
+  EXPECT_EQ(from_word<char>(to_word('z')), 'z');
+}
+
+TEST(Word, SignExtendsNarrowSignedTypes) {
+  // Essential for ordered semantic comparisons across widths: a negative
+  // int32 must compare as negative in the 64-bit word.
+  const word_t w = to_word<std::int32_t>(-7);
+  EXPECT_TRUE(eval(Rel::SLT, w, to_word<std::int32_t>(0)));
+  EXPECT_TRUE(eval(Rel::SLT, w, to_word<std::int64_t>(3)));
+  EXPECT_EQ(from_word<std::int32_t>(w), -7);
+}
+
+TEST(Word, ZeroExtendsUnsignedTypes) {
+  const word_t w = to_word<std::uint32_t>(0xFFFFFFFFu);
+  EXPECT_EQ(w, 0xFFFFFFFFull);
+  EXPECT_TRUE(eval(Rel::ULT, w, to_word<std::uint64_t>(1ull << 40)));
+}
+
+TEST(Word, RoundTripsFloatingPoint) {
+  EXPECT_DOUBLE_EQ(from_word<double>(to_word(3.25)), 3.25);
+  EXPECT_FLOAT_EQ(from_word<float>(to_word(1.5f)), 1.5f);
+  EXPECT_DOUBLE_EQ(from_word<double>(to_word(-0.0)), -0.0);
+}
+
+TEST(Word, RoundTripsPointers) {
+  int x = 0;
+  EXPECT_EQ(from_word<int*>(to_word(&x)), &x);
+  EXPECT_EQ(from_word<int*>(to_word<int*>(nullptr)), nullptr);
+}
+
+TEST(Word, EnumsRoundTrip) {
+  enum class Color : std::uint8_t { kRed = 1, kBlue = 9 };
+  EXPECT_EQ(from_word<Color>(to_word(Color::kBlue)), Color::kBlue);
+}
+
+// Increment arithmetic is two's-complement on the raw word: adding the
+// encoding of a negative delta must decrement the decoded value.
+TEST(Word, TwosComplementDeltaArithmetic) {
+  const word_t base = to_word<std::int64_t>(10);
+  const word_t delta = to_word<std::int64_t>(-3);
+  EXPECT_EQ(from_word<std::int64_t>(base + delta), 7);
+}
+
+}  // namespace
+}  // namespace semstm

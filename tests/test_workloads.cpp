@@ -1,0 +1,139 @@
+// Integration tests: every evaluation workload runs under every algorithm
+// on the simulator, its invariants verified after the run; plus checks
+// that the semantic builds actually emit semantic operations (the premise
+// of Table 3).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "semstm.hpp"
+#include "workloads/registry.hpp"
+
+namespace semstm {
+namespace {
+
+using Param = std::tuple<std::string, std::string>;  // (workload, algorithm)
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  return std::get<0>(info.param) + "_" + std::get<1>(info.param);
+}
+
+class WorkloadRuns : public ::testing::TestWithParam<Param> {};
+
+TEST_P(WorkloadRuns, InvariantsHoldAfterConcurrentRun) {
+  const auto& [wl_name, algo] = GetParam();
+  // Pair semantic workload builds with semantic algorithms, mirroring the
+  // paper's configurations (NOrec runs base, S-NOrec runs semantic).
+  const bool semantic = (algo == "snorec" || algo == "stl2");
+  auto w = make_workload(wl_name, semantic);
+  RunConfig cfg;
+  cfg.algo = algo;
+  cfg.mode = ExecMode::kSim;
+  cfg.threads = 4;
+  cfg.ops_per_thread = (wl_name == "labyrinth" || wl_name == "labyrinth2")
+                           ? 8
+                           : 150;
+  cfg.seed = 0x5EA5C0DE;
+  const RunResult r = run_workload(cfg, *w);
+  EXPECT_EQ(r.stats.commits,
+            r.stats.starts - r.stats.aborts);  // accounting identity
+  ASSERT_NO_THROW(w->verify());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, WorkloadRuns,
+    ::testing::Combine(
+        ::testing::Values("hashtable", "bank", "lru", "vacation", "kmeans",
+                          "labyrinth", "labyrinth2", "yada", "ssca2", "genome",
+                          "intruder"),
+        ::testing::Values("cgl", "norec", "snorec", "tl2", "stl2")),
+    param_name);
+
+// ---------------------------------------------------------------------------
+// Table 3 premises: the semantic builds must transform the operations the
+// paper says they transform.
+// ---------------------------------------------------------------------------
+
+TxStats profile(const std::string& wl, bool semantic) {
+  auto w = make_workload(wl, semantic);
+  RunConfig cfg;
+  cfg.algo = semantic ? "snorec" : "norec";
+  cfg.mode = ExecMode::kSim;
+  cfg.threads = 2;
+  cfg.ops_per_thread = (wl == "labyrinth" || wl == "labyrinth2") ? 10 : 200;
+  return run_workload(cfg, *w).stats;
+}
+
+TEST(WorkloadProfiles, HashtableTurnsAllReadsIntoCompares) {
+  const TxStats s = profile("hashtable", true);
+  EXPECT_GT(s.compares, 0u);
+  // Paper Table 3: base reads -> ~all compares. The only residual plain
+  // reads come from cmp_or's read-after-write fallback (probing a cell the
+  // same transaction already wrote), which is a tiny fraction.
+  EXPECT_LT(s.reads, s.compares / 20);
+  const TxStats base = profile("hashtable", false);
+  EXPECT_EQ(base.compares, 0u);
+  EXPECT_GT(base.reads, 0u);
+}
+
+TEST(WorkloadProfiles, BankUsesComparesAndIncrements) {
+  const TxStats s = profile("bank", true);
+  EXPECT_GT(s.compares, 0u);    // overdraft TM_GTE
+  EXPECT_GT(s.increments, 0u);  // TM_INC / TM_DEC
+  EXPECT_EQ(s.writes, 0u);      // no plain writes remain (Table 3)
+}
+
+TEST(WorkloadProfiles, KmeansIsPureIncrements) {
+  const TxStats s = profile("kmeans", true);
+  EXPECT_GT(s.increments, 0u);
+  EXPECT_EQ(s.reads, 0u);
+  EXPECT_EQ(s.writes, 0u);
+  EXPECT_EQ(s.compares, 0u);
+}
+
+TEST(WorkloadProfiles, VacationPromotesItsIncrements) {
+  const TxStats s = profile("vacation", true);
+  EXPECT_GT(s.compares, 0u);
+  EXPECT_GT(s.promotions, 0u);  // the sanity check re-reads numFree
+  // Most reads are tree-internal and stay plain (Table 3: ~7% compares).
+  EXPECT_GT(s.reads, s.compares);
+}
+
+TEST(WorkloadProfiles, LabyrinthComparesDominateItsReads) {
+  const TxStats s = profile("labyrinth", true);
+  EXPECT_GT(s.compares, 0u);
+  EXPECT_GT(s.writes, 0u);
+  EXPECT_GT(s.compares, s.reads);  // Table 3: 172 cmp vs 4 reads
+}
+
+TEST(WorkloadProfiles, YadaKeepsMostReadsPlain) {
+  const TxStats s = profile("yada", true);
+  EXPECT_GT(s.compares, 0u);
+  EXPECT_GT(s.reads, 5 * s.compares);  // Table 3: 135 reads vs 7 compares
+}
+
+TEST(WorkloadProfiles, GenomeAndIntruderHaveNoSemantics) {
+  for (const char* wl : {"genome", "intruder"}) {
+    const TxStats s = profile(wl, true);
+    EXPECT_EQ(s.compares, 0u) << wl;
+    EXPECT_EQ(s.increments, 0u) << wl;
+    EXPECT_GT(s.reads, 0u) << wl;
+  }
+}
+
+TEST(WorkloadProfiles, Ssca2TradesAReadWritePairForAnIncrement) {
+  const TxStats base = profile("ssca2", false);
+  const TxStats sem = profile("ssca2", true);
+  EXPECT_GT(sem.increments, 0u);
+  EXPECT_LT(sem.reads, base.reads);
+  EXPECT_LT(sem.writes, base.writes);
+}
+
+TEST(WorkloadRegistry, RejectsUnknownNames) {
+  EXPECT_THROW(make_workload("nope", false), std::invalid_argument);
+  EXPECT_EQ(workload_names().size(), 11u);
+}
+
+}  // namespace
+}  // namespace semstm

@@ -1,0 +1,122 @@
+// Unit tests for the write-set, including the Alg. 6 merge rules
+// (write-after-write / increment-after-write and vice versa).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime/writeset.hpp"
+
+namespace semstm {
+namespace {
+
+TEST(WriteSet, FindOnEmptyReturnsNull) {
+  WriteSet ws;
+  tword w{0};
+  EXPECT_EQ(ws.find(&w), nullptr);
+  EXPECT_TRUE(ws.empty());
+}
+
+TEST(WriteSet, PutWriteThenFind) {
+  WriteSet ws;
+  tword w{0};
+  ws.put_write(&w, 42);
+  WriteEntry* e = ws.find(&w);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->value, 42u);
+  EXPECT_EQ(e->kind, WriteKind::kWrite);
+  EXPECT_EQ(ws.size(), 1u);
+}
+
+TEST(WriteSet, WriteAfterWriteOverwrites) {
+  WriteSet ws;
+  tword w{0};
+  ws.put_write(&w, 1);
+  ws.put_write(&w, 2);
+  EXPECT_EQ(ws.find(&w)->value, 2u);
+  EXPECT_EQ(ws.size(), 1u);
+}
+
+TEST(WriteSet, IncAfterIncAccumulatesDelta) {
+  WriteSet ws;
+  tword w{0};
+  ws.put_inc(&w, 5);
+  ws.put_inc(&w, 7);
+  WriteEntry* e = ws.find(&w);
+  EXPECT_EQ(e->value, 12u);
+  EXPECT_EQ(e->kind, WriteKind::kIncrement);
+}
+
+TEST(WriteSet, IncAfterWriteKeepsWriteKind) {
+  // Alg. 6 line 46: the delta accumulates over the buffered value and the
+  // entry stays a WRITE (absolute value 10+5).
+  WriteSet ws;
+  tword w{0};
+  ws.put_write(&w, 10);
+  ws.put_inc(&w, 5);
+  WriteEntry* e = ws.find(&w);
+  EXPECT_EQ(e->value, 15u);
+  EXPECT_EQ(e->kind, WriteKind::kWrite);
+}
+
+TEST(WriteSet, WriteAfterIncBecomesWrite) {
+  // Alg. 6 line 51: overwrite value, flag flips to WRITE.
+  WriteSet ws;
+  tword w{0};
+  ws.put_inc(&w, 5);
+  ws.put_write(&w, 99);
+  WriteEntry* e = ws.find(&w);
+  EXPECT_EQ(e->value, 99u);
+  EXPECT_EQ(e->kind, WriteKind::kWrite);
+}
+
+TEST(WriteSet, NegativeDeltaWrapsAsTwosComplement) {
+  WriteSet ws;
+  tword w{0};
+  ws.put_inc(&w, static_cast<word_t>(-3));
+  ws.put_inc(&w, 10);
+  EXPECT_EQ(static_cast<std::int64_t>(ws.find(&w)->value), 7);
+}
+
+TEST(WriteSet, GrowsPastInitialCapacityAndStillFindsAll) {
+  WriteSet ws;
+  std::vector<tword> words(1000);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    ws.put_write(&words[i], static_cast<word_t>(i));
+  }
+  EXPECT_EQ(ws.size(), words.size());
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    WriteEntry* e = ws.find(&words[i]);
+    ASSERT_NE(e, nullptr) << i;
+    EXPECT_EQ(e->value, static_cast<word_t>(i));
+  }
+}
+
+TEST(WriteSet, ClearEmptiesAndReusable) {
+  WriteSet ws;
+  std::vector<tword> words(300);
+  for (auto& w : words) ws.put_write(&w, 1);
+  ws.clear();
+  EXPECT_TRUE(ws.empty());
+  for (auto& w : words) EXPECT_EQ(ws.find(&w), nullptr);
+  ws.put_write(&words[0], 9);
+  EXPECT_EQ(ws.find(&words[0])->value, 9u);
+}
+
+TEST(WriteSet, IterationVisitsEveryEntryOnce) {
+  WriteSet ws;
+  std::vector<tword> words(50);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    ws.put_write(&words[i], static_cast<word_t>(i));
+  }
+  std::size_t count = 0;
+  word_t sum = 0;
+  for (const WriteEntry& e : ws) {
+    ++count;
+    sum += e.value;
+  }
+  EXPECT_EQ(count, 50u);
+  EXPECT_EQ(sum, 49u * 50u / 2);
+}
+
+}  // namespace
+}  // namespace semstm
