@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
@@ -38,6 +39,9 @@ struct FigureSpec {
   std::uint64_t seed = 0x5EED;
   ExecMode mode = ExecMode::kSim;
   std::uint64_t sim_quantum = 24;  // amortize fiber switches (see SimOptions)
+  std::string cm = env_or("SEMSTM_CM", "backoff");  // contention manager
+  std::uint64_t retry_limit =
+      env_u64_or("SEMSTM_RETRY_LIMIT", kDefaultRetryLimit);
   std::vector<AlgoConfig> series = {
       {"norec", false, "NOrec"},
       {"snorec", true, "S-NOrec"},
@@ -57,18 +61,38 @@ inline void apply_cli(FigureSpec& spec, const Cli& cli) {
   if (cli.has("real")) spec.mode = ExecMode::kReal;
   spec.sim_quantum = static_cast<std::uint64_t>(
       cli.get_int("quantum", static_cast<std::int64_t>(spec.sim_quantum)));
+  spec.cm = cli.get("cm", spec.cm);
+  spec.retry_limit = static_cast<std::uint64_t>(
+      cli.get_int("retry-limit", static_cast<std::int64_t>(spec.retry_limit)));
+  // Fail fast with a usable message; otherwise the bad name surfaces as a
+  // terminate() from make_contention_manager deep inside the first run.
+  bool known = false;
+  for (const std::string& n : contention_manager_names()) {
+    known = known || n == spec.cm;
+  }
+  if (!known) {
+    std::fprintf(stderr, "error: unknown --cm '%s'; valid:", spec.cm.c_str());
+    for (const std::string& n : contention_manager_names()) {
+      std::fprintf(stderr, " %s", n.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    std::exit(2);
+  }
 }
 
 struct SeriesPoint {
   double metric_value;  // throughput (commits/Mtick) or time (Mticks)
   double abort_pct;
+  TxStats stats;        // full counters for the JSON summary
 };
 
 inline void run_figure(const FigureSpec& spec, const WorkloadFactory& make) {
   std::printf("# %s\n", spec.name.c_str());
-  std::printf("# mode=%s ops_per_thread=%llu%s\n",
+  std::printf("# mode=%s ops_per_thread=%llu cm=%s retry_limit=%llu%s\n",
               spec.mode == ExecMode::kSim ? "sim" : "real",
               static_cast<unsigned long long>(spec.ops_per_thread),
+              spec.cm.c_str(),
+              static_cast<unsigned long long>(spec.retry_limit),
               spec.fixed_total_work ? " (fixed total work)" : "");
 
   std::vector<std::vector<SeriesPoint>> table(
@@ -86,11 +110,14 @@ inline void run_figure(const FigureSpec& spec, const WorkloadFactory& make) {
                                : spec.ops_per_thread;
       cfg.seed = spec.seed;
       cfg.sim_quantum = spec.sim_quantum;
+      cfg.cm = spec.cm;
+      cfg.retry_limit = spec.retry_limit;
       auto w = make(spec.series[s].semantic_build);
       const RunResult r = run_workload(cfg, *w);
       w->verify();
       SeriesPoint& p = table[s][t];
       p.abort_pct = r.abort_pct;
+      p.stats = r.stats;
       if (spec.metric == "time") {
         // Completion time of the fixed total work, in mega-ticks (sim) or
         // seconds (real) — lower is better, like the paper's STAMP plots.
@@ -132,6 +159,25 @@ inline void run_figure(const FigureSpec& spec, const WorkloadFactory& make) {
     std::printf("\n");
   }
 
+  // Serial-irrevocable fallbacks per 10k commits (0.00 everywhere unless
+  // the bounded policy escalated — the progress-guarantee audit trail).
+  std::printf("\n## serial fallbacks (per 10k commits)\n");
+  std::printf("threads");
+  for (const auto& s : spec.series) std::printf(",%s", s.label.c_str());
+  std::printf("\n");
+  for (std::size_t t = 0; t < spec.threads.size(); ++t) {
+    std::printf("%u", spec.threads[t]);
+    for (std::size_t s = 0; s < spec.series.size(); ++s) {
+      const TxStats& st = table[s][t].stats;
+      const double rate =
+          st.commits == 0 ? 0.0
+                          : 1e4 * static_cast<double>(st.fallbacks) /
+                                static_cast<double>(st.commits);
+      std::printf(",%.2f", rate);
+    }
+    std::printf("\n");
+  }
+
   // Headline ratios (paper: "up to 4x, average 1.6x"): semantic vs base,
   // same family, best thread count.
   auto best = [&](std::size_t s) {
@@ -151,7 +197,36 @@ inline void run_figure(const FigureSpec& spec, const WorkloadFactory& make) {
                 spec.series[s + 1].label.c_str(), spec.series[s].label.c_str(),
                 speedup);
   }
-  std::printf("\n");
+
+  // Machine-readable summary (one JSON object per figure) so sweep scripts
+  // can pull retry/fallback counters without parsing the CSV blocks.
+  std::printf("\n# JSON {\"figure\":\"%s\",\"metric\":\"%s\",\"cm\":\"%s\","
+              "\"retry_limit\":%llu,\"series\":[",
+              spec.name.c_str(), spec.metric.c_str(), spec.cm.c_str(),
+              static_cast<unsigned long long>(spec.retry_limit));
+  for (std::size_t s = 0; s < spec.series.size(); ++s) {
+    std::printf("%s{\"label\":\"%s\",\"algo\":\"%s\",\"points\":[",
+                s == 0 ? "" : ",", spec.series[s].label.c_str(),
+                spec.series[s].algo.c_str());
+    for (std::size_t t = 0; t < spec.threads.size(); ++t) {
+      const SeriesPoint& p = table[s][t];
+      const TxStats& st = p.stats;
+      std::printf(
+          "%s{\"threads\":%u,\"metric\":%.6g,\"abort_pct\":%.4g,"
+          "\"commits\":%llu,\"aborts\":%llu,\"retries\":%llu,"
+          "\"fallbacks\":%llu,\"max_consec_aborts\":%llu,"
+          "\"exceptions\":%llu}",
+          t == 0 ? "" : ",", spec.threads[t], p.metric_value, p.abort_pct,
+          static_cast<unsigned long long>(st.commits),
+          static_cast<unsigned long long>(st.aborts),
+          static_cast<unsigned long long>(st.retries),
+          static_cast<unsigned long long>(st.fallbacks),
+          static_cast<unsigned long long>(st.max_consec_aborts),
+          static_cast<unsigned long long>(st.exceptions));
+    }
+    std::printf("]}");
+  }
+  std::printf("]}\n\n");
 }
 
 }  // namespace semstm::bench

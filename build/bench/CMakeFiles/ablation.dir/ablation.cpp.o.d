@@ -202,14 +202,16 @@ bench/CMakeFiles/ablation.dir/ablation.cpp.o: \
  /root/repo/src/core/tvar.hpp /root/repo/src/core/tx.hpp \
  /root/repo/src/core/semantics.hpp /root/repo/src/core/word.hpp \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/core/stats.hpp /root/repo/src/core/atomically.hpp \
+ /root/repo/src/core/stats.hpp /root/repo/src/runtime/serial_gate.hpp \
+ /root/repo/src/sched/yieldpoint.hpp /root/repo/src/util/padded.hpp \
+ /usr/include/c++/12/cstddef /root/repo/src/core/atomically.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/core/context.hpp /root/repo/src/runtime/backoff.hpp \
- /root/repo/src/sched/yieldpoint.hpp /root/repo/src/util/rng.hpp \
- /root/repo/src/semstm.hpp /root/repo/src/core/algorithm.hpp \
+ /root/repo/src/core/context.hpp /root/repo/src/runtime/contention.hpp \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/util/cli.hpp \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/runtime/backoff.hpp \
+ /root/repo/src/util/rng.hpp /root/repo/src/semstm.hpp \
+ /root/repo/src/core/algorithm.hpp /root/repo/src/util/cli.hpp \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h \
@@ -217,4 +219,4 @@ bench/CMakeFiles/ablation.dir/ablation.cpp.o: \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/workloads/driver.hpp \
  /root/repo/src/workloads/hashtable_wl.hpp \
  /root/repo/src/containers/topen_hashtable.hpp \
- /root/repo/src/containers/tarray.hpp /usr/include/c++/12/cstddef
+ /root/repo/src/containers/tarray.hpp

@@ -216,7 +216,9 @@ bench/CMakeFiles/micro_ops.dir/micro_ops.cpp.o: \
  /root/repo/src/core/tx.hpp /root/repo/src/core/semantics.hpp \
  /root/repo/src/core/word.hpp /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/core/stats.hpp /root/repo/src/semstm.hpp \
- /root/repo/src/core/algorithm.hpp /root/repo/src/core/atomically.hpp \
- /root/repo/src/core/context.hpp /root/repo/src/runtime/backoff.hpp \
- /root/repo/src/sched/yieldpoint.hpp /root/repo/src/util/rng.hpp
+ /root/repo/src/core/stats.hpp /root/repo/src/runtime/serial_gate.hpp \
+ /root/repo/src/sched/yieldpoint.hpp /root/repo/src/util/padded.hpp \
+ /root/repo/src/semstm.hpp /root/repo/src/core/algorithm.hpp \
+ /root/repo/src/core/atomically.hpp /root/repo/src/core/context.hpp \
+ /root/repo/src/runtime/contention.hpp /root/repo/src/runtime/backoff.hpp \
+ /root/repo/src/util/rng.hpp

@@ -200,13 +200,14 @@ examples/CMakeFiles/compiler_pass.dir/compiler_pass.cpp.o: \
  /root/repo/src/core/tx.hpp /root/repo/src/core/semantics.hpp \
  /root/repo/src/core/word.hpp /usr/include/c++/12/atomic \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/core/stats.hpp /root/repo/src/semstm.hpp \
- /root/repo/src/core/algorithm.hpp /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_vector.h \
+ /root/repo/src/core/stats.hpp /root/repo/src/runtime/serial_gate.hpp \
+ /root/repo/src/sched/yieldpoint.hpp /root/repo/src/util/padded.hpp \
+ /root/repo/src/semstm.hpp /root/repo/src/core/algorithm.hpp \
+ /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/atomically.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/core/context.hpp /root/repo/src/runtime/backoff.hpp \
- /root/repo/src/sched/yieldpoint.hpp /root/repo/src/util/rng.hpp \
+ /root/repo/src/core/context.hpp /root/repo/src/runtime/contention.hpp \
+ /root/repo/src/runtime/backoff.hpp /root/repo/src/util/rng.hpp \
  /root/repo/src/tmir/interp.hpp /root/repo/src/tmir/ir.hpp \
  /root/repo/src/tmir/kernels.hpp /root/repo/src/tmir/passes.hpp

@@ -201,11 +201,11 @@ src/CMakeFiles/semstm.dir/core/factory.cpp.o: \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/tx.hpp \
  /root/repo/src/core/semantics.hpp /root/repo/src/core/word.hpp \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/core/stats.hpp /root/repo/src/runtime/writeset.hpp \
+ /root/repo/src/core/stats.hpp /root/repo/src/runtime/serial_gate.hpp \
+ /root/repo/src/sched/yieldpoint.hpp /root/repo/src/util/padded.hpp \
+ /usr/include/c++/12/cstddef /root/repo/src/runtime/writeset.hpp \
  /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/cstddef /root/repo/src/sched/yieldpoint.hpp \
- /root/repo/src/util/padded.hpp /root/repo/src/algos/norec.hpp \
- /root/repo/src/runtime/global_clock.hpp \
+ /root/repo/src/algos/norec.hpp /root/repo/src/runtime/global_clock.hpp \
  /root/repo/src/runtime/readset.hpp /root/repo/src/algos/snorec.hpp \
  /root/repo/src/algos/stl2.hpp /root/repo/src/algos/tl2.hpp \
  /root/repo/src/runtime/orec.hpp /root/repo/src/runtime/backoff.hpp \

@@ -213,9 +213,12 @@ src/CMakeFiles/semstm.dir/sched/virtual_scheduler.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/core/context.hpp /root/repo/src/core/tx.hpp \
- /root/repo/src/core/semantics.hpp /root/repo/src/core/word.hpp \
- /usr/include/c++/12/atomic /usr/include/c++/12/cstring \
+ /root/repo/src/core/context.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/core/tx.hpp /root/repo/src/core/semantics.hpp \
+ /root/repo/src/core/word.hpp /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/core/stats.hpp /root/repo/src/runtime/backoff.hpp \
- /root/repo/src/sched/yieldpoint.hpp /root/repo/src/util/rng.hpp
+ /root/repo/src/core/stats.hpp /root/repo/src/runtime/serial_gate.hpp \
+ /root/repo/src/sched/yieldpoint.hpp /root/repo/src/util/padded.hpp \
+ /usr/include/c++/12/cstddef /root/repo/src/runtime/contention.hpp \
+ /root/repo/src/runtime/backoff.hpp /root/repo/src/util/rng.hpp

@@ -163,8 +163,10 @@ src/CMakeFiles/semstm.dir/tmir/interp.cpp.o: \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc /usr/include/c++/12/bit \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/core/stats.hpp /root/repo/src/tmir/ir.hpp \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
+ /root/repo/src/core/stats.hpp /root/repo/src/runtime/serial_gate.hpp \
+ /root/repo/src/sched/yieldpoint.hpp /root/repo/src/util/padded.hpp \
+ /root/repo/src/tmir/ir.hpp /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /usr/include/c++/12/memory \
@@ -200,5 +202,4 @@ src/CMakeFiles/semstm.dir/tmir/interp.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/sched/yieldpoint.hpp /root/repo/src/tmir/abi.hpp
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/tmir/abi.hpp

@@ -202,13 +202,20 @@ src/CMakeFiles/semstm.dir/workloads/registry.cpp.o: \
  /root/repo/src/core/semantics.hpp /root/repo/src/core/word.hpp \
  /usr/include/c++/12/atomic /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/core/stats.hpp /root/repo/src/util/rng.hpp \
- /root/repo/src/workloads/bank.hpp /root/repo/src/containers/tarray.hpp \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/cstddef /root/repo/src/core/tvar.hpp \
+ /root/repo/src/core/stats.hpp /root/repo/src/runtime/serial_gate.hpp \
+ /root/repo/src/sched/yieldpoint.hpp /root/repo/src/util/padded.hpp \
+ /usr/include/c++/12/cstddef /root/repo/src/runtime/contention.hpp \
+ /root/repo/src/runtime/backoff.hpp /root/repo/src/util/rng.hpp \
+ /root/repo/src/util/cli.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/workloads/bank.hpp \
+ /root/repo/src/containers/tarray.hpp /usr/include/c++/12/cassert \
+ /usr/include/assert.h /root/repo/src/core/tvar.hpp \
  /root/repo/src/core/atomically.hpp /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/core/context.hpp \
- /root/repo/src/runtime/backoff.hpp /root/repo/src/sched/yieldpoint.hpp \
  /root/repo/src/workloads/genome.hpp \
  /root/repo/src/workloads/hashtable_wl.hpp \
  /root/repo/src/containers/topen_hashtable.hpp \

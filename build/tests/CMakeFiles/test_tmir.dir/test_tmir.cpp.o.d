@@ -296,10 +296,11 @@ tests/CMakeFiles/test_tmir.dir/test_tmir.cpp.o: \
  /root/repo/src/containers/tarray.hpp /root/repo/src/core/tvar.hpp \
  /root/repo/src/core/tx.hpp /root/repo/src/core/semantics.hpp \
  /root/repo/src/core/word.hpp /usr/include/c++/12/cstring \
- /root/repo/src/core/stats.hpp /root/repo/src/semstm.hpp \
- /root/repo/src/core/algorithm.hpp /root/repo/src/core/atomically.hpp \
- /root/repo/src/core/context.hpp /root/repo/src/runtime/backoff.hpp \
- /root/repo/src/sched/yieldpoint.hpp /root/repo/src/util/rng.hpp \
- /root/repo/src/tmir/builder.hpp /root/repo/src/tmir/ir.hpp \
- /root/repo/src/tmir/interp.hpp /root/repo/src/tmir/kernels.hpp \
- /root/repo/src/tmir/passes.hpp
+ /root/repo/src/core/stats.hpp /root/repo/src/runtime/serial_gate.hpp \
+ /root/repo/src/sched/yieldpoint.hpp /root/repo/src/util/padded.hpp \
+ /root/repo/src/semstm.hpp /root/repo/src/core/algorithm.hpp \
+ /root/repo/src/core/atomically.hpp /root/repo/src/core/context.hpp \
+ /root/repo/src/runtime/contention.hpp /root/repo/src/runtime/backoff.hpp \
+ /root/repo/src/util/rng.hpp /root/repo/src/tmir/builder.hpp \
+ /root/repo/src/tmir/ir.hpp /root/repo/src/tmir/interp.hpp \
+ /root/repo/src/tmir/kernels.hpp /root/repo/src/tmir/passes.hpp

@@ -17,3 +17,4 @@ include("/root/repo/build/tests/test_workloads[1]_include.cmake")
 include("/root/repo/build/tests/test_tmir[1]_include.cmake")
 include("/root/repo/build/tests/test_properties[1]_include.cmake")
 include("/root/repo/build/tests/test_phases[1]_include.cmake")
+include("/root/repo/build/tests/test_contention[1]_include.cmake")

@@ -41,7 +41,9 @@ class CglAlgorithm final : public Algorithm {
 
 class CglTx final : public Tx {
  public:
-  explicit CglTx(CglAlgorithm& shared) : shared_(shared) {}
+  explicit CglTx(CglAlgorithm& shared) : shared_(shared) {
+    bind_gate(shared.serial_gate());
+  }
   ~CglTx() override {
     if (holding_) shared_.unlock();
   }
@@ -49,6 +51,10 @@ class CglTx final : public Tx {
   const char* algorithm() const noexcept override { return "cgl"; }
 
   void begin() override {
+    // Gate first, lock second: a thread blocked on the serial-irrevocable
+    // token must not hold the global lock, or the token holder could never
+    // run its (lock-acquiring) transaction.
+    gate_enter();
     writes_.clear();
     shared_.lock();
     holding_ = true;
@@ -87,6 +93,7 @@ class CglTx final : public Tx {
       shared_.unlock();
       holding_ = false;
     }
+    gate_exit();
   }
 
   CglAlgorithm& shared_;

@@ -32,11 +32,14 @@ class NorecAlgorithm : public Algorithm {
 
 class NorecTx : public Tx {
  public:
-  explicit NorecTx(NorecAlgorithm& shared) : shared_(shared) {}
+  explicit NorecTx(NorecAlgorithm& shared) : shared_(shared) {
+    bind_gate(shared.serial_gate());
+  }
 
   const char* algorithm() const noexcept override { return "norec"; }
 
   void begin() override {
+    gate_enter();  // quiesce while a serial-irrevocable transaction runs
     reads_.clear();
     writes_.clear();
     snapshot_ = shared_.lock().sample_even();  // Alg. 6 Start (lines 24-28)
@@ -111,7 +114,10 @@ class NorecTx : public Tx {
     }
   }
 
+  /// Attempt epilogue, shared by commit and rollback: the gate must see
+  /// the transaction as no longer in flight on every exit path.
   void finish() noexcept {
+    gate_exit();
     reads_.clear();
     writes_.clear();
   }

@@ -70,16 +70,17 @@ class SnorecTx final : public NorecTx {
   /// consistent snapshot, the OR is evaluated, and a single clause entry
   /// joins the read-set — validated as a unit thereafter.
   bool cmp_or(const CmpTerm* terms, std::size_t n) override {
-    sched::tick(sched::Cost::kCmp);
     for (std::size_t i = 0; i < n; ++i) {
       if (writes_.find(terms[i].addr) != nullptr ||
           (terms[i].rhs_addr != nullptr &&
            writes_.find(terms[i].rhs_addr) != nullptr)) {
         // Buffered operands are private: degrade to plain evaluation (the
-        // involved plain reads record value entries as usual).
+        // involved plain reads record value entries and tick kRead as
+        // usual — charging kCmp on top would double-bill this path).
         return Tx::cmp_or(terms, n);
       }
     }
+    sched::tick(sched::Cost::kCmp);  // semantic path only
     ++stats.compares;
     bool outcome = false;
     for (;;) {

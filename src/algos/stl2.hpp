@@ -91,14 +91,16 @@ class Stl2Tx final : public Tl2Tx {
   /// the phase-aware consistent read, the clause joins the compare-set as
   /// one entry, and phase 1 extends the snapshot if any load ran ahead.
   bool cmp_or(const CmpTerm* terms, std::size_t n) override {
-    sched::tick(sched::Cost::kCmp);
     for (std::size_t i = 0; i < n; ++i) {
       if (writes_.find(terms[i].addr) != nullptr ||
           (terms[i].rhs_addr != nullptr &&
            writes_.find(terms[i].rhs_addr) != nullptr)) {
-        return Tx::cmp_or(terms, n);  // buffered operands: plain evaluation
+        // Buffered operands: plain evaluation, whose reads tick kRead —
+        // do not also charge kCmp for a semantic op that never happens.
+        return Tx::cmp_or(terms, n);
       }
     }
+    sched::tick(sched::Cost::kCmp);  // semantic path only
     ++stats.compares;
     bool outcome = false;
     bool extend = false;

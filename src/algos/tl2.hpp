@@ -36,11 +36,14 @@ class Tl2Algorithm : public Algorithm {
 
 class Tl2Tx : public Tx {
  public:
-  explicit Tl2Tx(Tl2Algorithm& shared) : shared_(shared) {}
+  explicit Tl2Tx(Tl2Algorithm& shared) : shared_(shared) {
+    bind_gate(shared.serial_gate());
+  }
 
   const char* algorithm() const noexcept override { return "tl2"; }
 
   void begin() override {
+    gate_enter();  // quiesce while a serial-irrevocable transaction runs
     reads_.clear();
     writes_.clear();
     start_version_ = shared_.clock().load();
@@ -145,7 +148,10 @@ class Tl2Tx : public Tx {
     locked_.clear();
   }
 
+  /// Attempt epilogue, shared by commit and rollback: the gate must see
+  /// the transaction as no longer in flight on every exit path.
   void finish() noexcept {
+    gate_exit();
     reads_.clear();
     writes_.clear();
   }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/tx.hpp"
+#include "runtime/serial_gate.hpp"
 
 namespace semstm {
 
@@ -25,6 +26,13 @@ class Algorithm {
   /// True for algorithms that handle cmp/inc semantically (S-NOrec, S-TL2).
   virtual bool semantic() const noexcept = 0;
   virtual std::unique_ptr<Tx> make_tx() = 0;
+
+  /// The serial-irrevocable gate every descriptor of this TM instance
+  /// honours at begin()/commit() (see runtime/serial_gate.hpp).
+  SerialGate& serial_gate() noexcept { return gate_; }
+
+ private:
+  SerialGate gate_;
 };
 
 /// Create an algorithm by name: "cgl", "norec", "snorec", "tl2", "stl2".

@@ -1,9 +1,16 @@
 // atomically(): the TM_BEGIN / TM_END retry loop.
 //
 // Runs the user lambda against the bound thread context's transaction,
-// retrying with randomized exponential backoff on every TxAbort. User
-// exceptions roll the transaction back and propagate (lazy versioning
-// means no shared state was touched).
+// retrying on every TxAbort with the context's contention-manager policy
+// pacing the attempts (runtime/contention.hpp). A bounded-retry policy may
+// escalate a starving transaction to *serial-irrevocable* mode: the loop
+// acquires the global token (runtime/serial_gate.hpp), every other
+// transaction quiesces at begin(), and the next attempt runs alone and is
+// guaranteed to commit.
+//
+// User exceptions roll the transaction back and propagate (lazy versioning
+// means no shared state was touched); they are counted as `exceptions`,
+// not aborts — see the accounting contract in core/stats.hpp.
 #pragma once
 
 #include <type_traits>
@@ -15,12 +22,65 @@
 
 namespace semstm {
 
+namespace detail {
+
+/// Retry-loop bookkeeping shared by the void and value-returning paths.
+struct AttemptLoop {
+  Tx& tx;
+  ContentionManager& cm;
+  std::uint64_t consecutive = 0;
+  bool irrevocable = false;
+
+  void on_commit() noexcept {
+    ++tx.stats.commits;
+    release_token();
+    cm.on_finish();
+  }
+
+  void on_abort() {
+    tx.rollback();
+    ++tx.stats.aborts;
+    ++tx.stats.retries;
+    ++consecutive;
+    if (consecutive > tx.stats.max_consec_aborts) {
+      tx.stats.max_consec_aborts = consecutive;
+    }
+    // Already irrevocable transactions keep the token and simply retry
+    // (with the system quiesced they cannot abort again); everyone else
+    // asks the policy whether to wait or to escalate.
+    if (!irrevocable && cm.on_abort(consecutive) &&
+        tx.serial_gate() != nullptr) {
+      ++tx.stats.fallbacks;
+      tx.serial_gate()->acquire(&tx);
+      irrevocable = true;
+    }
+  }
+
+  void on_exception() noexcept {
+    tx.rollback();
+    ++tx.stats.exceptions;
+    release_token();
+    cm.on_finish();
+  }
+
+ private:
+  void release_token() noexcept {
+    if (irrevocable) {
+      tx.serial_gate()->release();
+      irrevocable = false;
+    }
+  }
+};
+
+}  // namespace detail
+
 template <typename F>
 decltype(auto) atomically(F&& body) {
   ThreadCtx* ctx = tls_ctx();
   assert(ctx != nullptr && ctx->tx != nullptr &&
          "atomically() requires a bound ThreadCtx (see CtxBinder)");
-  Tx& tx = *ctx->tx;
+  detail::AttemptLoop loop{*ctx->tx, *ctx->cm};
+  Tx& tx = loop.tx;
 
   for (;;) {
     ++tx.stats.starts;
@@ -30,22 +90,18 @@ decltype(auto) atomically(F&& body) {
       if constexpr (std::is_void_v<std::invoke_result_t<F&, Tx&>>) {
         body(tx);
         tx.commit();
-        ++tx.stats.commits;
-        ctx->backoff.reset();
+        loop.on_commit();
         return;
       } else {
         auto result = body(tx);
         tx.commit();
-        ++tx.stats.commits;
-        ctx->backoff.reset();
+        loop.on_commit();
         return result;
       }
     } catch (const TxAbort&) {
-      tx.rollback();
-      ++tx.stats.aborts;
-      ctx->backoff.pause();
+      loop.on_abort();
     } catch (...) {
-      tx.rollback();
+      loop.on_exception();
       throw;
     }
   }

@@ -7,20 +7,47 @@
 // must own a private descriptor).
 #pragma once
 
+#include <atomic>
 #include <cassert>
+#include <cstdint>
 #include <memory>
+#include <utility>
 
 #include "core/tx.hpp"
-#include "runtime/backoff.hpp"
+#include "runtime/contention.hpp"
+#include "util/rng.hpp"
 
 namespace semstm {
 
+/// Derive a per-context default seed for contention-manager randomization.
+/// Mixing a process-wide counter into the base seed guarantees distinct
+/// backoff streams even when every context is default-constructed — with
+/// one shared seed all threads draw identical pause sequences and back off
+/// in lockstep, defeating the randomization (a real historical bug).
+/// Callers needing run-to-run determinism (the workload driver, seeded
+/// tests) pass an explicit per-thread seed instead and never hit this path.
+inline std::uint64_t default_ctx_seed() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t id = counter.fetch_add(1, std::memory_order_relaxed);
+  return SplitMix64(0xB0FFULL ^ (id * 0x9E3779B97F4A7C15ULL)).next();
+}
+
 struct ThreadCtx {
   std::unique_ptr<Tx> tx;
-  Backoff backoff;
+  std::unique_ptr<ContentionManager> cm;
 
-  explicit ThreadCtx(std::unique_ptr<Tx> t, std::uint64_t backoff_seed = 0xB0FF)
-      : tx(std::move(t)), backoff(backoff_seed) {}
+  /// Default construction: randomized-exponential-backoff policy with a
+  /// unique per-context seed (see default_ctx_seed()).
+  explicit ThreadCtx(std::unique_ptr<Tx> t)
+      : ThreadCtx(std::move(t), default_ctx_seed()) {}
+
+  /// Deterministic construction: the caller owns seed uniqueness (pass a
+  /// distinct stream seed per thread). An explicit policy may replace the
+  /// default backoff manager.
+  ThreadCtx(std::unique_ptr<Tx> t, std::uint64_t seed,
+            std::unique_ptr<ContentionManager> manager = nullptr)
+      : tx(std::move(t)),
+        cm(manager ? std::move(manager) : std::make_unique<BackoffCm>(seed)) {}
 };
 
 /// The current thread's (or fiber's) context slot.

@@ -9,10 +9,27 @@
 
 namespace semstm {
 
+// Accounting contract (kept in sync with atomically()'s retry loop):
+//
+//   starts == commits + aborts + exceptions
+//
+// A *user* exception that escapes the transaction body rolls the attempt
+// back but is counted as `exceptions`, NOT as an abort: the transaction is
+// abandoned rather than retried, so folding it into `aborts` would skew
+// abort_pct() — the very series Figures 1–2 plot — with events that are not
+// contention. `retries` counts loop-backs after an abort (the attempt that
+// follows each abort), `fallbacks` counts escalations to the
+// serial-irrevocable token, and `max_consec_aborts` is the high-water mark
+// of consecutive aborts of a single atomically() invocation (aggregated
+// with max, not sum).
 struct TxStats {
-  std::uint64_t starts = 0;       ///< transaction attempts (commits + aborts)
+  std::uint64_t starts = 0;       ///< attempts (commits + aborts + exceptions)
   std::uint64_t commits = 0;
   std::uint64_t aborts = 0;
+  std::uint64_t exceptions = 0;   ///< attempts abandoned by a user exception
+  std::uint64_t retries = 0;      ///< re-attempts after an abort
+  std::uint64_t fallbacks = 0;    ///< serial-irrevocable escalations
+  std::uint64_t max_consec_aborts = 0;  ///< worst single-transaction streak
 
   std::uint64_t reads = 0;        ///< plain transactional reads
   std::uint64_t writes = 0;       ///< plain transactional writes
@@ -26,6 +43,12 @@ struct TxStats {
     starts += o.starts;
     commits += o.commits;
     aborts += o.aborts;
+    exceptions += o.exceptions;
+    retries += o.retries;
+    fallbacks += o.fallbacks;
+    if (o.max_consec_aborts > max_consec_aborts) {
+      max_consec_aborts = o.max_consec_aborts;
+    }
     reads += o.reads;
     writes += o.writes;
     compares += o.compares;
@@ -38,7 +61,9 @@ struct TxStats {
 
   void reset() noexcept { *this = TxStats{}; }
 
-  /// Abort percentage over all attempts, as plotted in the paper's figures.
+  /// Abort percentage over contended attempts (commits + aborts), as
+  /// plotted in the paper's figures; exception-abandoned attempts are
+  /// excluded by design (see the accounting contract above).
   double abort_pct() const noexcept {
     const auto total = commits + aborts;
     return total == 0 ? 0.0 : 100.0 * static_cast<double>(aborts) /

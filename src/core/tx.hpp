@@ -22,6 +22,7 @@
 #include "core/semantics.hpp"
 #include "core/stats.hpp"
 #include "core/word.hpp"
+#include "runtime/serial_gate.hpp"
 
 namespace semstm {
 
@@ -91,11 +92,45 @@ class Tx {
 
   TxStats stats;
 
+  /// The serial-irrevocable gate shared by every descriptor of the owning
+  /// Algorithm (null only for descriptors built outside an Algorithm, e.g.
+  /// bare test doubles). atomically() uses it for the bounded-retry
+  /// fallback; the algorithms honour it through gate_enter()/gate_exit().
+  SerialGate* serial_gate() const noexcept { return gate_; }
+
  protected:
   Tx() = default;
 
   /// Abort the current attempt (does not count stats; atomically() does).
   [[noreturn]] static void abort_tx() { throw TxAbort{}; }
+
+  /// Called by concrete descriptors' constructors to share the algorithm's
+  /// gate.
+  void bind_gate(SerialGate& gate) noexcept { gate_ = &gate; }
+
+  /// begin() protocol: block while another transaction holds the
+  /// serial-irrevocable token, then register as in-flight. A token-holding
+  /// transaction passes straight through (it must not wait on itself, and
+  /// it is excluded from the drain count by construction). Idempotent
+  /// across repeated begin() calls without an intervening attempt end.
+  void gate_enter() {
+    if (gate_ == nullptr || gate_entered_ || gate_->held_by(this)) return;
+    gate_->enter();
+    gate_entered_ = true;
+  }
+
+  /// commit()/rollback() protocol: deregister from the gate. Safe to call
+  /// redundantly; only the first call after a gate_enter() counts.
+  void gate_exit() noexcept {
+    if (gate_entered_) {
+      gate_->exit();
+      gate_entered_ = false;
+    }
+  }
+
+ private:
+  SerialGate* gate_ = nullptr;
+  bool gate_entered_ = false;
 };
 
 }  // namespace semstm

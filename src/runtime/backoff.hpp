@@ -14,14 +14,21 @@ namespace semstm {
 
 class Backoff {
  public:
-  explicit Backoff(std::uint64_t seed = 0xB0FFULL) : rng_(seed) {}
+  /// The seed must be unique per thread/descriptor — identical seeds make
+  /// all threads draw identical pause sequences and back off in lockstep,
+  /// defeating the randomization entirely (this was a real bug: every
+  /// Backoff used to default to one shared seed). ThreadCtx derives a
+  /// per-context seed; pass an explicit stream seed everywhere else.
+  explicit Backoff(std::uint64_t seed) : rng_(seed) {}
 
   /// Call after an abort; spins for a randomized, exponentially growing
-  /// number of pause steps (virtual ticks under the simulator).
-  void pause() {
+  /// number of pause steps (virtual ticks under the simulator). Returns the
+  /// number of pause steps taken (observable in tests).
+  std::uint64_t pause() {
     const std::uint64_t spins = rng_.below(ceiling_) + 1;
     for (std::uint64_t i = 0; i < spins; ++i) sched::spin_pause();
     if (ceiling_ < kMaxCeiling) ceiling_ *= 2;
+    return spins;
   }
 
   void reset() noexcept { ceiling_ = kMinCeiling; }

@@ -1,0 +1,88 @@
+// SerialGate: the global serial-irrevocable token (GCC libitm's `serialirr`
+// idea), the escalation target of the bounded-retry contention manager.
+//
+// Protocol (honoured by every algorithm at begin()/commit(), see Tx's
+// gate_enter()/gate_exit() helpers):
+//
+//   - A normal transaction *enters* the gate before doing any transactional
+//     work and *exits* it when the attempt ends (commit or rollback). While
+//     the token is held by another transaction, entry blocks.
+//   - A starving transaction *acquires* the token between attempts (it holds
+//     no transactional state at that point), then waits for every in-flight
+//     transaction to drain. From then on it runs alone: no concurrent commit
+//     can invalidate it, so the next attempt is guaranteed to succeed — the
+//     optimistic algorithms degenerate to their single-threaded path.
+//   - The token holder *releases* after its commit; blocked transactions
+//     resume and re-sample their snapshots in begin() as usual.
+//
+// Deadlock-freedom argument: token acquisition happens only between attempts
+// (no locks/snapshots held), entry waiters hold nothing either, and every
+// entered transaction finishes in finite time (all its waits tick through
+// sched::spin_pause(), so the fiber simulator keeps the system live too).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "sched/yieldpoint.hpp"
+#include "util/padded.hpp"
+
+namespace semstm {
+
+class SerialGate {
+ public:
+  /// True while some transaction holds the serial-irrevocable token.
+  bool held() const noexcept {
+    return owner_.value.load(std::memory_order_acquire) != nullptr;
+  }
+
+  /// True if `self` is the current token holder.
+  bool held_by(const void* self) const noexcept {
+    return owner_.value.load(std::memory_order_acquire) == self;
+  }
+
+  /// Normal-transaction entry: wait out any token holder, then register as
+  /// in-flight. The add/re-check/undo dance closes the race with a holder
+  /// that acquired the token between our check and our registration.
+  void enter() {
+    for (;;) {
+      while (held()) sched::spin_pause();
+      active_.value.fetch_add(1, std::memory_order_acq_rel);
+      if (!held()) return;
+      active_.value.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+
+  /// Normal-transaction exit (attempt ended: committed or rolled back).
+  void exit() noexcept {
+    active_.value.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  /// Become serial-irrevocable: contend for the token, then quiesce — wait
+  /// until every registered transaction has exited. Call only between
+  /// attempts (no transactional state held).
+  void acquire(const void* self) {
+    const void* expected = nullptr;
+    while (!owner_.value.compare_exchange_weak(expected, self,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_relaxed)) {
+      expected = nullptr;
+      sched::spin_pause();
+    }
+    while (active_.value.load(std::memory_order_acquire) != 0) {
+      sched::spin_pause();
+    }
+  }
+
+  /// Release the token (after the irrevocable commit, or when abandoning
+  /// the transaction via a propagating user exception).
+  void release() noexcept {
+    owner_.value.store(nullptr, std::memory_order_release);
+  }
+
+ private:
+  Padded<std::atomic<const void*>> owner_{};  ///< token: null = free
+  Padded<std::atomic<std::uint64_t>> active_{};  ///< in-flight transactions
+};
+
+}  // namespace semstm

@@ -12,6 +12,23 @@
 #include "sched/yieldpoint.hpp"
 #include "util/rng.hpp"
 
+// ASan cannot see ucontext stack switches on its own: on the first abort
+// exception unwinding inside a fiber, __asan_handle_no_return tries to
+// unpoison what it thinks is the carrier thread's stack and crashes (see
+// google/sanitizers#189). The fiber-switch annotations below tell ASan
+// which stack is live around every swapcontext, which makes the simulator
+// ASan-clean (SEMSTM_SANITIZE=address runs the full suite).
+#if defined(__SANITIZE_ADDRESS__)
+#define SEMSTM_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SEMSTM_ASAN_FIBERS 1
+#endif
+#endif
+#ifdef SEMSTM_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace semstm::sched {
 
 namespace {
@@ -28,6 +45,9 @@ struct VirtualScheduler::Impl : YieldHook {
     Rng rng{0};
     ThreadCtx* saved_tls = nullptr;  ///< semstm context parked across switches
     std::exception_ptr error;
+#ifdef SEMSTM_ASAN_FIBERS
+    void* fake_stack = nullptr;  ///< ASan state parked while switched out
+#endif
   };
 
   SimOptions opts;
@@ -39,8 +59,49 @@ struct VirtualScheduler::Impl : YieldHook {
   std::uint64_t preempt_at = kInfinity;
   const std::function<void(unsigned)>* body = nullptr;
   std::uint64_t switches = 0;
+#ifdef SEMSTM_ASAN_FIBERS
+  void* main_fake_stack = nullptr;
+  /// Carrier-thread stack bounds, captured at the first fiber entry (ASan
+  /// reports them as the "old" stack); target of every fiber→main switch.
+  const void* main_stack_bottom = nullptr;
+  std::size_t main_stack_size = 0;
+#endif
 
   explicit Impl(SimOptions o) : opts(o) {}
+
+  // Fiber-switch annotation helpers; no-ops outside ASan builds.
+  void asan_switch_to_fiber([[maybe_unused]] Fiber& f) {
+#ifdef SEMSTM_ASAN_FIBERS
+    __sanitizer_start_switch_fiber(&main_fake_stack, f.stack.get(),
+                                   opts.stack_bytes);
+#endif
+  }
+  void asan_back_on_main() {
+#ifdef SEMSTM_ASAN_FIBERS
+    __sanitizer_finish_switch_fiber(main_fake_stack, nullptr, nullptr);
+#endif
+  }
+  /// `dying` releases the fiber's ASan fake-stack state: its frames are
+  /// gone for good once the trampoline returns through uc_link.
+  void asan_switch_to_main([[maybe_unused]] Fiber& f,
+                           [[maybe_unused]] bool dying) {
+#ifdef SEMSTM_ASAN_FIBERS
+    __sanitizer_start_switch_fiber(dying ? nullptr : &f.fake_stack,
+                                   main_stack_bottom, main_stack_size);
+#endif
+  }
+  void asan_back_on_fiber([[maybe_unused]] Fiber& f, bool first) {
+#ifdef SEMSTM_ASAN_FIBERS
+    if (first) {  // capture where the carrier stack lives as a side effect
+      __sanitizer_finish_switch_fiber(nullptr, &main_stack_bottom,
+                                      &main_stack_size);
+    } else {
+      __sanitizer_finish_switch_fiber(f.fake_stack, nullptr, nullptr);
+    }
+#else
+    (void)first;
+#endif
+  }
 
   // YieldHook: called from inside the running fiber on every STM op.
   void tick(std::uint64_t cost) override {
@@ -55,7 +116,9 @@ struct VirtualScheduler::Impl : YieldHook {
     f->vclock += c;
     if (f->vclock > preempt_at + opts.quantum) {
       ++switches;
+      asan_switch_to_main(*f, /*dying=*/false);
       swapcontext(&f->ctx, &main_ctx);  // back to the dispatch loop
+      asan_back_on_fiber(*f, /*first=*/false);
     }
   }
 
@@ -73,7 +136,9 @@ struct VirtualScheduler::Impl : YieldHook {
     }
     set_hook(this);
     tls_ctx() = f.saved_tls;
+    asan_switch_to_fiber(f);
     swapcontext(&main_ctx, &f.ctx);
+    asan_back_on_main();
     f.saved_tls = tls_ctx();
     tls_ctx() = nullptr;
     set_hook(nullptr);
@@ -129,13 +194,16 @@ thread_local VirtualScheduler::Impl* g_bootstrapping = nullptr;
 void VirtualScheduler::Impl::trampoline() {
   Impl* impl = g_bootstrapping;
   Fiber* self = impl->current;
+  impl->asan_back_on_fiber(*self, /*first=*/true);
   try {
     (*impl->body)(self->tid);
   } catch (...) {
     self->error = std::current_exception();
   }
   self->done = true;
-  // uc_link returns to main_ctx when this function ends.
+  // uc_link returns to main_ctx when this function ends; the annotation
+  // precedes the implicit switch and frees this fiber's ASan state.
+  impl->asan_switch_to_main(*self, /*dying=*/true);
 }
 
 VirtualScheduler::VirtualScheduler(SimOptions opts) : impl_(new Impl(opts)) {}

@@ -13,6 +13,18 @@
 
 namespace semstm {
 
+/// Environment-variable fallback for run-wide defaults (e.g. SEMSTM_CM).
+/// CLI flags always win: callers use `cli.get(key, env_or(...))`.
+inline std::string env_or(const char* var, const char* dflt) {
+  const char* v = std::getenv(var);
+  return (v != nullptr && *v != '\0') ? std::string(v) : std::string(dflt);
+}
+
+inline std::uint64_t env_u64_or(const char* var, std::uint64_t dflt) {
+  const char* v = std::getenv(var);
+  return (v != nullptr && *v != '\0') ? std::strtoull(v, nullptr, 10) : dflt;
+}
+
 class Cli {
  public:
   Cli(int argc, char** argv) {

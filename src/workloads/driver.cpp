@@ -25,7 +25,12 @@ RunResult run_workload(const RunConfig& cfg, Workload& workload) {
   rngs.reserve(cfg.threads);
   for (unsigned t = 0; t < cfg.threads; ++t) {
     const std::uint64_t s = seeder.next();
-    ctxs.push_back(std::make_unique<ThreadCtx>(algo->make_tx(), s ^ 0xB0FF));
+    // The contention-manager seed stream is decorrelated from the workload
+    // stream (distinct per thread AND per purpose) so backoff randomization
+    // never echoes workload choices.
+    ctxs.push_back(std::make_unique<ThreadCtx>(
+        algo->make_tx(), s ^ 0xB0FF,
+        make_contention_manager(cfg.cm, s ^ 0xB0FF, cfg.retry_limit)));
     rngs.emplace_back(s);
   }
 

@@ -9,6 +9,8 @@
 
 #include "core/algorithm.hpp"
 #include "core/stats.hpp"
+#include "runtime/contention.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
 
 namespace semstm {
@@ -39,6 +41,14 @@ struct RunConfig {
   AlgoOptions algo_opts{};
   /// Simulator scheduling slack (see sched::SimOptions::quantum).
   std::uint64_t sim_quantum = 0;
+  /// Contention-manager policy: "backoff", "yield" or "bounded"
+  /// (runtime/contention.hpp). Defaults honour SEMSTM_CM / SEMSTM_RETRY_LIMIT
+  /// so whole bench sweeps can be re-run under a different policy without
+  /// touching every invocation; per-bench CLI flags override.
+  std::string cm = env_or("SEMSTM_CM", "backoff");
+  /// Consecutive-abort limit before the "bounded" policy goes serial.
+  std::uint64_t retry_limit = env_u64_or("SEMSTM_RETRY_LIMIT",
+                                         kDefaultRetryLimit);
 };
 
 struct RunResult {

@@ -1,7 +1,11 @@
-// Unit tests for the TM-friendly relation semantics (Table 1).
+// Unit tests for the TM-friendly relation semantics (Table 1) and the
+// Alg. 6 RAW rule (read-after-increment promotion bookkeeping).
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "core/semantics.hpp"
+#include "semstm.hpp"
 #include "util/rng.hpp"
 
 namespace semstm {
@@ -72,6 +76,93 @@ TEST(Semantics, RelNamesAreUnique) {
     }
   }
 }
+
+// ---------------------------------------------------------------------------
+// RAW promotion (Alg. 6 lines 17-23): reading an address with a pending
+// increment converts the delta entry into a conventional read + write.
+// Exercised for both semantic algorithms, which share the rule.
+// ---------------------------------------------------------------------------
+
+class RawPromotion : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RawPromotion, ReadAfterIncPromotesExactlyOnce) {
+  auto algo = make_algorithm(GetParam());
+  ThreadCtx ctx(algo->make_tx());
+  CtxBinder bind(ctx);
+  TVar<long> v(100);
+
+  atomically([&](Tx& tx) {
+    v.add(tx, 7);
+    EXPECT_EQ(v.get(tx), 107);  // promotion: delta folded over observed value
+    EXPECT_EQ(v.get(tx), 107);  // second read hits the promoted WRITE entry
+  });
+  EXPECT_EQ(v.unsafe_get(), 107);
+  EXPECT_EQ(ctx.tx->stats.promotions, 1u) << "re-read must not double-promote";
+  EXPECT_EQ(ctx.tx->stats.increments, 1u);
+}
+
+TEST_P(RawPromotion, IncAfterPromotionAccumulatesOverWriteEntry) {
+  auto algo = make_algorithm(GetParam());
+  ThreadCtx ctx(algo->make_tx());
+  CtxBinder bind(ctx);
+  TVar<long> v(10);
+
+  atomically([&](Tx& tx) {
+    v.add(tx, 5);
+    EXPECT_EQ(v.get(tx), 15);  // promotes the entry to WRITE(15)
+    v.add(tx, 2);              // merges into the WRITE, no second promotion
+    EXPECT_EQ(v.get(tx), 17);
+  });
+  EXPECT_EQ(v.unsafe_get(), 17);
+  EXPECT_EQ(ctx.tx->stats.promotions, 1u);
+}
+
+TEST_P(RawPromotion, ReadBeforeIncDoesNotPromote) {
+  auto algo = make_algorithm(GetParam());
+  ThreadCtx ctx(algo->make_tx());
+  CtxBinder bind(ctx);
+  TVar<long> v(3);
+
+  atomically([&](Tx& tx) {
+    EXPECT_EQ(v.get(tx), 3);  // plain read; nothing buffered yet
+    v.add(tx, 4);             // delta entry, applied blind at commit
+  });
+  EXPECT_EQ(v.unsafe_get(), 7);
+  EXPECT_EQ(ctx.tx->stats.promotions, 0u);
+}
+
+TEST_P(RawPromotion, DecThenReadPromotesNegativeDelta) {
+  auto algo = make_algorithm(GetParam());
+  ThreadCtx ctx(algo->make_tx());
+  CtxBinder bind(ctx);
+  TVar<long> v(50);
+
+  atomically([&](Tx& tx) {
+    v.sub(tx, 8);
+    EXPECT_EQ(v.get(tx), 42);  // wrapped delta + observed value reads right
+  });
+  EXPECT_EQ(v.unsafe_get(), 42);
+  EXPECT_EQ(ctx.tx->stats.promotions, 1u);
+}
+
+TEST_P(RawPromotion, CmpOverPendingIncPromotesToo) {
+  // cmp consults the write-set through the same RAW path as get.
+  auto algo = make_algorithm(GetParam());
+  ThreadCtx ctx(algo->make_tx());
+  CtxBinder bind(ctx);
+  TVar<long> v(1);
+
+  atomically([&](Tx& tx) {
+    v.add(tx, 1);
+    EXPECT_TRUE(v.eq(tx, 2));  // evaluates against the promoted value
+  });
+  EXPECT_EQ(v.unsafe_get(), 2);
+  EXPECT_EQ(ctx.tx->stats.promotions, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(SemanticAlgorithms, RawPromotion,
+                         ::testing::Values("snorec", "stl2"),
+                         [](const auto& info) { return info.param; });
 
 }  // namespace
 }  // namespace semstm

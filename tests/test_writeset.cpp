@@ -77,6 +77,63 @@ TEST(WriteSet, NegativeDeltaWrapsAsTwosComplement) {
   EXPECT_EQ(static_cast<std::int64_t>(ws.find(&w)->value), 7);
 }
 
+TEST(WriteSet, DecAfterWriteDecrementsBufferedValue) {
+  // TM_DEC lowers to put_inc with a negative delta; over a buffered WRITE
+  // the absolute value drops and the entry stays a WRITE.
+  WriteSet ws;
+  tword w{0};
+  ws.put_write(&w, 10);
+  ws.put_inc(&w, static_cast<word_t>(-4));
+  WriteEntry* e = ws.find(&w);
+  EXPECT_EQ(e->value, 6u);
+  EXPECT_EQ(e->kind, WriteKind::kWrite);
+}
+
+TEST(WriteSet, DecBelowZeroWrapsAndReappliesExactly) {
+  // A buffered delta that transiently underflows word_t must still commit
+  // to the arithmetically-correct result: (5) + (-9 wrap) == -4 mod 2^64.
+  WriteSet ws;
+  tword w{0};
+  ws.put_inc(&w, 5);
+  ws.put_inc(&w, static_cast<word_t>(-9));
+  WriteEntry* e = ws.find(&w);
+  EXPECT_EQ(e->kind, WriteKind::kIncrement);
+  const word_t mem = 100;
+  EXPECT_EQ(static_cast<std::int64_t>(mem + e->value), 96);
+}
+
+TEST(WriteSet, MixedMergeSequenceEndsWithLastRuleApplied) {
+  // inc → write → inc → write: every step follows Alg. 6; the final state
+  // is the last write (kind WRITE, absolute value), not any stale delta.
+  WriteSet ws;
+  tword w{0};
+  ws.put_inc(&w, 3);
+  ws.put_write(&w, 50);
+  ws.put_inc(&w, static_cast<word_t>(-1));
+  EXPECT_EQ(ws.find(&w)->value, 49u);
+  EXPECT_EQ(ws.find(&w)->kind, WriteKind::kWrite);
+  ws.put_write(&w, 7);
+  EXPECT_EQ(ws.find(&w)->value, 7u);
+  EXPECT_EQ(ws.find(&w)->kind, WriteKind::kWrite);
+  EXPECT_EQ(ws.size(), 1u);
+}
+
+TEST(WriteSet, MergeRulesSurviveTableGrowth) {
+  // The merge must hit the *same* entry after rehash moves its slot.
+  WriteSet ws;
+  std::vector<tword> words(200);
+  ws.put_inc(&words[0], 1);
+  for (std::size_t i = 1; i < words.size(); ++i) {
+    ws.put_write(&words[i], static_cast<word_t>(i));
+  }
+  ws.put_inc(&words[0], 2);  // post-growth: still accumulates, still INC
+  WriteEntry* e = ws.find(&words[0]);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->value, 3u);
+  EXPECT_EQ(e->kind, WriteKind::kIncrement);
+  EXPECT_EQ(ws.size(), words.size());
+}
+
 TEST(WriteSet, GrowsPastInitialCapacityAndStillFindsAll) {
   WriteSet ws;
   std::vector<tword> words(1000);
