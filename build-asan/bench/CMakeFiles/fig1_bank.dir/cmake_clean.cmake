@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_bank.dir/fig1_bank.cpp.o"
+  "CMakeFiles/fig1_bank.dir/fig1_bank.cpp.o.d"
+  "fig1_bank"
+  "fig1_bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

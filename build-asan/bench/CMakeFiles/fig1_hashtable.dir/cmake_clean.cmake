@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_hashtable.dir/fig1_hashtable.cpp.o"
+  "CMakeFiles/fig1_hashtable.dir/fig1_hashtable.cpp.o.d"
+  "fig1_hashtable"
+  "fig1_hashtable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_hashtable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

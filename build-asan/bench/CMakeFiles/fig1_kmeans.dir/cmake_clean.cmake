@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_kmeans.dir/fig1_kmeans.cpp.o"
+  "CMakeFiles/fig1_kmeans.dir/fig1_kmeans.cpp.o.d"
+  "fig1_kmeans"
+  "fig1_kmeans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_labyrinth.dir/fig1_labyrinth.cpp.o"
+  "CMakeFiles/fig1_labyrinth.dir/fig1_labyrinth.cpp.o.d"
+  "fig1_labyrinth"
+  "fig1_labyrinth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_labyrinth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_lru.dir/fig1_lru.cpp.o"
+  "CMakeFiles/fig1_lru.dir/fig1_lru.cpp.o.d"
+  "fig1_lru"
+  "fig1_lru.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_lru.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_vacation.dir/fig1_vacation.cpp.o"
+  "CMakeFiles/fig1_vacation.dir/fig1_vacation.cpp.o.d"
+  "fig1_vacation"
+  "fig1_vacation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_vacation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_yada.dir/fig1_yada.cpp.o"
+  "CMakeFiles/fig1_yada.dir/fig1_yada.cpp.o.d"
+  "fig1_yada"
+  "fig1_yada.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_yada.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_gcc.dir/fig2_gcc.cpp.o"
+  "CMakeFiles/fig2_gcc.dir/fig2_gcc.cpp.o.d"
+  "fig2_gcc"
+  "fig2_gcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_gcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

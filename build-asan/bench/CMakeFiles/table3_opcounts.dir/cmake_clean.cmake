@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_opcounts.dir/table3_opcounts.cpp.o"
+  "CMakeFiles/table3_opcounts.dir/table3_opcounts.cpp.o.d"
+  "table3_opcounts"
+  "table3_opcounts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_opcounts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

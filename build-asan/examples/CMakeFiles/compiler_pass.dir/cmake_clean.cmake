@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_pass.dir/compiler_pass.cpp.o"
+  "CMakeFiles/compiler_pass.dir/compiler_pass.cpp.o.d"
+  "compiler_pass"
+  "compiler_pass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_pass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_queue.dir/concurrent_queue.cpp.o"
+  "CMakeFiles/concurrent_queue.dir/concurrent_queue.cpp.o.d"
+  "concurrent_queue"
+  "concurrent_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

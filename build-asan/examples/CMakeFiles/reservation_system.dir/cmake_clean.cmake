@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reservation_system.dir/reservation_system.cpp.o"
+  "CMakeFiles/reservation_system.dir/reservation_system.cpp.o.d"
+  "reservation_system"
+  "reservation_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reservation_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

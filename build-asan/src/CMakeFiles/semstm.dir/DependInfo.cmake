@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/factory.cpp" "src/CMakeFiles/semstm.dir/core/factory.cpp.o" "gcc" "src/CMakeFiles/semstm.dir/core/factory.cpp.o.d"
+  "/root/repo/src/sched/thread_runner.cpp" "src/CMakeFiles/semstm.dir/sched/thread_runner.cpp.o" "gcc" "src/CMakeFiles/semstm.dir/sched/thread_runner.cpp.o.d"
+  "/root/repo/src/sched/virtual_scheduler.cpp" "src/CMakeFiles/semstm.dir/sched/virtual_scheduler.cpp.o" "gcc" "src/CMakeFiles/semstm.dir/sched/virtual_scheduler.cpp.o.d"
+  "/root/repo/src/tmir/interp.cpp" "src/CMakeFiles/semstm.dir/tmir/interp.cpp.o" "gcc" "src/CMakeFiles/semstm.dir/tmir/interp.cpp.o.d"
+  "/root/repo/src/tmir/kernels.cpp" "src/CMakeFiles/semstm.dir/tmir/kernels.cpp.o" "gcc" "src/CMakeFiles/semstm.dir/tmir/kernels.cpp.o.d"
+  "/root/repo/src/tmir/passes.cpp" "src/CMakeFiles/semstm.dir/tmir/passes.cpp.o" "gcc" "src/CMakeFiles/semstm.dir/tmir/passes.cpp.o.d"
+  "/root/repo/src/workloads/driver.cpp" "src/CMakeFiles/semstm.dir/workloads/driver.cpp.o" "gcc" "src/CMakeFiles/semstm.dir/workloads/driver.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/CMakeFiles/semstm.dir/workloads/registry.cpp.o" "gcc" "src/CMakeFiles/semstm.dir/workloads/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semstm.dir/core/factory.cpp.o"
+  "CMakeFiles/semstm.dir/core/factory.cpp.o.d"
+  "CMakeFiles/semstm.dir/sched/thread_runner.cpp.o"
+  "CMakeFiles/semstm.dir/sched/thread_runner.cpp.o.d"
+  "CMakeFiles/semstm.dir/sched/virtual_scheduler.cpp.o"
+  "CMakeFiles/semstm.dir/sched/virtual_scheduler.cpp.o.d"
+  "CMakeFiles/semstm.dir/tmir/interp.cpp.o"
+  "CMakeFiles/semstm.dir/tmir/interp.cpp.o.d"
+  "CMakeFiles/semstm.dir/tmir/kernels.cpp.o"
+  "CMakeFiles/semstm.dir/tmir/kernels.cpp.o.d"
+  "CMakeFiles/semstm.dir/tmir/passes.cpp.o"
+  "CMakeFiles/semstm.dir/tmir/passes.cpp.o.d"
+  "CMakeFiles/semstm.dir/workloads/driver.cpp.o"
+  "CMakeFiles/semstm.dir/workloads/driver.cpp.o.d"
+  "CMakeFiles/semstm.dir/workloads/registry.cpp.o"
+  "CMakeFiles/semstm.dir/workloads/registry.cpp.o.d"
+  "libsemstm.a"
+  "libsemstm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semstm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opacity.dir/test_opacity.cpp.o"
+  "CMakeFiles/test_opacity.dir/test_opacity.cpp.o.d"
+  "test_opacity"
+  "test_opacity.pdb"
+  "test_opacity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_readset.dir/test_readset.cpp.o"
+  "CMakeFiles/test_readset.dir/test_readset.cpp.o.d"
+  "test_readset"
+  "test_readset.pdb"
+  "test_readset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_readset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tmir.dir/test_tmir.cpp.o"
+  "CMakeFiles/test_tmir.dir/test_tmir.cpp.o.d"
+  "test_tmir"
+  "test_tmir.pdb"
+  "test_tmir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tmir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_writeset.dir/test_writeset.cpp.o"
+  "CMakeFiles/test_writeset.dir/test_writeset.cpp.o.d"
+  "test_writeset"
+  "test_writeset.pdb"
+  "test_writeset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_writeset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

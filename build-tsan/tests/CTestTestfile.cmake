@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/test_semantics[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_word[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_writeset[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_readset[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_conformance[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_scheduler[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_opacity[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_stress[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_containers[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_tmir[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_properties[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_phases[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_contention[1]_include.cmake")
