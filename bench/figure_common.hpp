@@ -19,6 +19,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/abort_cause.hpp"
+#include "obs/clock.hpp"
+#include "obs/trace_export.hpp"
 #include "util/cli.hpp"
 #include "workloads/driver.hpp"
 
@@ -42,6 +45,10 @@ struct FigureSpec {
   std::string cm = env_or("SEMSTM_CM", "backoff");  // contention manager
   std::uint64_t retry_limit =
       env_u64_or("SEMSTM_RETRY_LIMIT", kDefaultRetryLimit);
+  /// When non-empty, every (series × thread-count) run is traced and the
+  /// merged Chrome trace_event JSON is written here (--trace out.json).
+  /// Requires a -DSEMSTM_TRACE=ON build to produce events.
+  std::string trace_path;
   std::vector<AlgoConfig> series = {
       {"norec", false, "NOrec"},
       {"snorec", true, "S-NOrec"},
@@ -64,6 +71,12 @@ inline void apply_cli(FigureSpec& spec, const Cli& cli) {
   spec.cm = cli.get("cm", spec.cm);
   spec.retry_limit = static_cast<std::uint64_t>(
       cli.get_int("retry-limit", static_cast<std::int64_t>(spec.retry_limit)));
+  spec.trace_path = cli.get("trace", spec.trace_path);
+  if (!spec.trace_path.empty() && !obs::kTraceEnabled) {
+    std::fprintf(stderr,
+                 "warning: --trace requested but this binary was built "
+                 "without -DSEMSTM_TRACE=ON; the trace will be empty\n");
+  }
   // Fail fast with a usable message; otherwise the bad name surfaces as a
   // terminate() from make_contention_manager deep inside the first run.
   bool known = false;
@@ -97,6 +110,7 @@ inline void run_figure(const FigureSpec& spec, const WorkloadFactory& make) {
 
   std::vector<std::vector<SeriesPoint>> table(
       spec.series.size(), std::vector<SeriesPoint>(spec.threads.size()));
+  obs::TraceExporter exporter;
 
   for (std::size_t s = 0; s < spec.series.size(); ++s) {
     for (std::size_t t = 0; t < spec.threads.size(); ++t) {
@@ -112,9 +126,16 @@ inline void run_figure(const FigureSpec& spec, const WorkloadFactory& make) {
       cfg.sim_quantum = spec.sim_quantum;
       cfg.cm = spec.cm;
       cfg.retry_limit = spec.retry_limit;
+      obs::TraceCollector collector;
+      if (!spec.trace_path.empty()) cfg.trace = &collector;
       auto w = make(spec.series[s].semantic_build);
       const RunResult r = run_workload(cfg, *w);
       w->verify();
+      if (cfg.trace != nullptr) {
+        exporter.add_run(
+            spec.series[s].label + "/" + std::to_string(threads) + "t",
+            collector);
+      }
       SeriesPoint& p = table[s][t];
       p.abort_pct = r.abort_pct;
       p.stats = r.stats;
@@ -215,7 +236,7 @@ inline void run_figure(const FigureSpec& spec, const WorkloadFactory& make) {
           "%s{\"threads\":%u,\"metric\":%.6g,\"abort_pct\":%.4g,"
           "\"commits\":%llu,\"aborts\":%llu,\"retries\":%llu,"
           "\"fallbacks\":%llu,\"max_consec_aborts\":%llu,"
-          "\"exceptions\":%llu}",
+          "\"exceptions\":%llu,\"abort_causes\":{",
           t == 0 ? "" : ",", spec.threads[t], p.metric_value, p.abort_pct,
           static_cast<unsigned long long>(st.commits),
           static_cast<unsigned long long>(st.aborts),
@@ -223,10 +244,52 @@ inline void run_figure(const FigureSpec& spec, const WorkloadFactory& make) {
           static_cast<unsigned long long>(st.fallbacks),
           static_cast<unsigned long long>(st.max_consec_aborts),
           static_cast<unsigned long long>(st.exceptions));
+      for (std::size_t c = 0; c < obs::kAbortCauseCount; ++c) {
+        std::printf("%s\"%s\":%llu", c == 0 ? "" : ",",
+                    obs::abort_cause_name(static_cast<obs::AbortCause>(c)),
+                    static_cast<unsigned long long>(
+                        st.abort_cause(static_cast<obs::AbortCause>(c))));
+      }
+      // Latency percentiles (obs ticks). All-zero unless the binary was
+      // built with -DSEMSTM_TRACE=ON — the schema is stable either way.
+      std::printf(
+          "},\"commit_p50\":%llu,\"commit_p99\":%llu,"
+          "\"validate_p50\":%llu,\"validate_p99\":%llu,"
+          "\"backoff_p50\":%llu,\"backoff_p99\":%llu,"
+          "\"gate_p50\":%llu,\"gate_p99\":%llu}",
+          static_cast<unsigned long long>(st.lat_commit.percentile(50)),
+          static_cast<unsigned long long>(st.lat_commit.percentile(99)),
+          static_cast<unsigned long long>(st.lat_validate.percentile(50)),
+          static_cast<unsigned long long>(st.lat_validate.percentile(99)),
+          static_cast<unsigned long long>(st.lat_backoff.percentile(50)),
+          static_cast<unsigned long long>(st.lat_backoff.percentile(99)),
+          static_cast<unsigned long long>(st.lat_gate.percentile(50)),
+          static_cast<unsigned long long>(st.lat_gate.percentile(99)));
     }
     std::printf("]}");
   }
   std::printf("]}\n\n");
+
+  if (!spec.trace_path.empty()) {
+    if (exporter.write_chrome(spec.trace_path)) {
+      std::printf("# trace: %zu events -> %s (chrome://tracing or "
+                  "https://ui.perfetto.dev)\n",
+                  exporter.event_count(), spec.trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: failed to write trace to %s\n",
+                   spec.trace_path.c_str());
+    }
+    // Flame summary: the 10-second diagnosis view, "# "-prefixed so CSV
+    // consumers skip it like every other comment line.
+    const std::string flame = exporter.flame_summary();
+    std::size_t pos = 0;
+    while (pos < flame.size()) {
+      std::size_t nl = flame.find('\n', pos);
+      if (nl == std::string::npos) nl = flame.size();
+      std::printf("# %.*s\n", static_cast<int>(nl - pos), flame.c_str() + pos);
+      pos = nl + 1;
+    }
+  }
 }
 
 }  // namespace semstm::bench

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Observability CI: a fresh -DSEMSTM_TRACE=ON build (the gate is OFF by
+# default, so the regular suite never exercises the recording paths), the
+# obs unit suite — whose end-to-end test only runs under the gate — and a
+# traced benchmark whose Chrome JSON output is validated: it must parse,
+# carry at least one event for every logical thread of a run, and attribute
+# every abort to a real cause (never "unknown").
+#
+# Usage: scripts/ci_trace_smoke.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="${1:-$(nproc)}"
+build_dir=build-trace
+trace_json="${build_dir}/bank_trace.json"
+
+echo "=== SEMSTM_TRACE=ON build ==="
+cmake -B "${build_dir}" -S . -DSEMSTM_TRACE=ON
+cmake --build "${build_dir}" -j "${jobs}" --target test_obs fig1_bank
+
+echo "=== obs unit suite (traced) ==="
+"${build_dir}/tests/test_obs"
+
+echo "=== traced benchmark run ==="
+"${build_dir}/bench/fig1_bank" --threads 2,4 --ops 300 \
+    --trace "${trace_json}" > "${build_dir}/bank_trace.out"
+grep '^# trace:' "${build_dir}/bank_trace.out"
+
+echo "=== trace JSON validation ==="
+python3 - "${trace_json}" <<'EOF'
+import collections
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)  # must parse as strict JSON
+
+events = doc["traceEvents"]
+assert events, "trace contains no events"
+
+# Thread coverage: every (pid, tid) announced by a thread_name metadata
+# event must have at least one real event.
+threads = set()
+per_thread = collections.Counter()
+aborts = 0
+for e in events:
+    key = (e["pid"], e["tid"])
+    if e["ph"] == "M":
+        if e["name"] == "thread_name":
+            threads.add(key)
+        continue
+    per_thread[key] += 1
+    if e["name"] == "abort":
+        aborts += 1
+        cause = e["args"]["cause"]
+        assert cause != "unknown", f"unattributed abort: {e}"
+
+assert threads, "no thread_name metadata emitted"
+missing = [t for t in sorted(threads) if per_thread[t] == 0]
+assert not missing, f"threads with zero events: {missing}"
+
+print(f"OK: {sum(per_thread.values())} events over {len(threads)} threads, "
+      f"{aborts} aborts, all attributed")
+EOF
+
+echo "=== trace smoke passed ==="

@@ -10,6 +10,11 @@
 // The lock spins through sched::spin_pause() — mandatory for the fiber
 // simulator, where an OS-blocking mutex would deadlock the single carrier
 // thread.
+//
+// Observability: CGL never conflict-aborts, so the only abort cause it can
+// ever contribute to the TxStats cause histogram is kUserAbort (an explicit
+// Tx::user_abort() inside the body, tagged by core/tx.hpp). Its
+// lat_validate histogram stays empty — there is nothing to validate.
 #pragma once
 
 #include <atomic>

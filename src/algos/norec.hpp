@@ -11,6 +11,8 @@
 
 #include "core/algorithm.hpp"
 #include "core/tx.hpp"
+#include "obs/abort_cause.hpp"
+#include "obs/latency_histogram.hpp"
 #include "runtime/global_clock.hpp"
 #include "runtime/readset.hpp"
 #include "runtime/writeset.hpp"
@@ -66,6 +68,10 @@ class NorecTx : public Tx {
       finish();
       return;
     }
+    // snapshot_ is always even; the last even value would wrap the seqlock
+    // through odd into 0 on unlock, so the epoch ends here (never reached
+    // in practice — tagged for the cause histogram's completeness).
+    if (snapshot_ + 2 == 0) abort_tx(obs::AbortCause::kClockOverflow);
     while (!shared_.lock().try_lock(snapshot_)) snapshot_ = validate();
     // Exclusive: write back (increments resolve against current memory).
     for (const WriteEntry& e : writes_) {
@@ -100,14 +106,22 @@ class NorecTx : public Tx {
   }
 
   /// Alg. 6 Validate (lines 1-9): semantic validation of the read-set at a
-  /// stable (even) timestamp; aborts the transaction on failure.
+  /// stable (even) timestamp; aborts the transaction on failure. A failing
+  /// plain-read entry is a value-validation abort; a failing cmp/clause
+  /// entry means the relation's outcome flipped — the distinction S-NOrec's
+  /// evaluation story rests on.
   std::uint64_t validate() {
+    obs::ScopedLatency lat(stats.lat_validate);
     for (;;) {
       const std::uint64_t time = shared_.lock().sample_even();
       ++stats.validations;
       for (const ReadEntry& e : reads_) {
         sched::tick(sched::Cost::kValidateEntry);
-        if (!e.holds()) abort_tx();
+        if (!e.holds()) {
+          abort_tx(e.semantic() ? obs::AbortCause::kCmpRevalidation
+                                : obs::AbortCause::kReadValidation,
+                   e.terms[0].addr);
+        }
       }
       if (time == shared_.lock().load()) return time;
       // A writer committed mid-validation; retry at the new timestamp.

@@ -35,6 +35,7 @@ class SnorecTx final : public NorecTx {
   bool cmp(const tword* addr, Rel rel, word_t operand) override {
     sched::tick(sched::Cost::kCmp);
     ++stats.compares;
+    trace_semantic_op(obs::SemanticOp::kCmp, addr);
     if (WriteEntry* e = writes_.find(addr)) {
       return eval(rel, raw(addr, e), operand);
     }
@@ -50,6 +51,7 @@ class SnorecTx final : public NorecTx {
   bool cmp2(const tword* a, Rel rel, const tword* b) override {
     sched::tick(sched::Cost::kCmp);
     ++stats.compares2;
+    trace_semantic_op(obs::SemanticOp::kCmp2, a);
     WriteEntry* ea = writes_.find(a);
     WriteEntry* eb = writes_.find(b);
     if (ea != nullptr || eb != nullptr) {
@@ -82,6 +84,7 @@ class SnorecTx final : public NorecTx {
     }
     sched::tick(sched::Cost::kCmp);  // semantic path only
     ++stats.compares;
+    trace_semantic_op(obs::SemanticOp::kCmpOr, n > 0 ? terms[0].addr : nullptr);
     bool outcome = false;
     for (;;) {
       if (snapshot_ != shared_.lock().load()) snapshot_ = validate();
@@ -99,6 +102,7 @@ class SnorecTx final : public NorecTx {
   void inc(tword* addr, word_t delta) override {
     sched::tick(sched::Cost::kInc);
     ++stats.increments;
+    trace_semantic_op(obs::SemanticOp::kInc, addr);
     writes_.put_inc(addr, delta);
   }
 
@@ -108,6 +112,7 @@ class SnorecTx final : public NorecTx {
   word_t raw(const tword* addr, WriteEntry* e) override {
     if (e->kind == WriteKind::kIncrement) {
       ++stats.promotions;
+      trace_semantic_op(obs::SemanticOp::kPromote, addr);
       const word_t current = read_valid(addr);
       reads_.append_value(addr, current);    // the read part of the promotion
       e->value += current;                   // delta + observed value

@@ -56,6 +56,7 @@ class Stl2Tx final : public Tl2Tx {
   bool cmp(const tword* addr, Rel rel, word_t operand) override {
     sched::tick(sched::Cost::kCmp);
     ++stats.compares;
+    trace_semantic_op(obs::SemanticOp::kCmp, addr);
     if (WriteEntry* e = writes_.find(addr)) {
       return eval(rel, raw(addr, e), operand);
     }
@@ -71,6 +72,7 @@ class Stl2Tx final : public Tl2Tx {
   bool cmp2(const tword* a, Rel rel, const tword* b) override {
     sched::tick(sched::Cost::kCmp);
     ++stats.compares2;
+    trace_semantic_op(obs::SemanticOp::kCmp2, a);
     WriteEntry* ea = writes_.find(a);
     WriteEntry* eb = writes_.find(b);
     if (ea != nullptr || eb != nullptr) {
@@ -102,6 +104,7 @@ class Stl2Tx final : public Tl2Tx {
     }
     sched::tick(sched::Cost::kCmp);  // semantic path only
     ++stats.compares;
+    trace_semantic_op(obs::SemanticOp::kCmpOr, n > 0 ? terms[0].addr : nullptr);
     bool outcome = false;
     bool extend = false;
     for (std::size_t i = 0; i < n; ++i) {
@@ -126,6 +129,7 @@ class Stl2Tx final : public Tl2Tx {
   void inc(tword* addr, word_t delta) override {
     sched::tick(sched::Cost::kInc);
     ++stats.increments;
+    trace_semantic_op(obs::SemanticOp::kInc, addr);
     writes_.put_inc(addr, delta);
   }
 
@@ -141,18 +145,23 @@ class Stl2Tx final : public Tl2Tx {
     std::uint64_t time;
     for (;;) {
       time = shared_.clock().load();
+      // time + 1 == 0 would wrap the version clock (epoch end, tagged for
+      // the cause histogram's completeness).
+      if (time + 1 == 0) fail_locked(obs::AbortCause::kClockOverflow, nullptr);
       // No waiting here: we hold write locks, and hold-and-wait across
       // committers livelocks into timeout aborts. Fail fast instead —
       // TL2's own ValidateReadSet makes the same choice.
       if (time != start_version_ && !compare_set_holds(/*may_wait=*/false)) {
-        fail_locked();
+        fail_locked(fail_cause_, conflict_);
       }
       if (shared_.clock().try_advance(time)) break;
       // Another writer serialized between validation and CAS: its commit
       // may flip a compare outcome, so validate again (lines 68-72).
     }
     const std::uint64_t wv = time + 1;
-    if (time != start_version_ && !readset_holds()) fail_locked();
+    if (time != start_version_ && !readset_holds()) {
+      fail_locked(fail_cause_, conflict_);
+    }
     write_back(wv);
     compares_.clear();
     finish();
@@ -164,6 +173,7 @@ class Stl2Tx final : public Tl2Tx {
   word_t raw(const tword* addr, WriteEntry* e) override {
     if (e->kind == WriteKind::kIncrement) {
       ++stats.promotions;
+      trace_semantic_op(obs::SemanticOp::kPromote, addr);
       const word_t current = read_shared(addr);  // appends orec to read-set
       e->value += current;
       e->kind = WriteKind::kWrite;
@@ -186,7 +196,8 @@ class Stl2Tx final : public Tl2Tx {
         if (o.locked_by_other(this)) {
           // Wait until unlocked instead of aborting (lines 11-12).
           if (!bounded_wait([&] { return !o.locked_by_other(this); })) {
-            abort_tx();  // starvation timeout (§4.2)
+            // starvation timeout (§4.2)
+            abort_tx(obs::AbortCause::kWriteLockConflict, addr);
           }
           continue;
         }
@@ -200,11 +211,17 @@ class Stl2Tx final : public Tl2Tx {
     }
     // Phase 2 (lines 26-34): frozen snapshot, TL2-style checks.
     const std::uint64_t v1 = o.version.load(std::memory_order_acquire);
-    if (o.locked_by_other(this)) abort_tx();
+    if (o.locked_by_other(this)) {
+      abort_tx(obs::AbortCause::kWriteLockConflict, addr);
+    }
     const word_t val = addr->load(std::memory_order_acquire);
-    if (o.locked_by_other(this)) abort_tx();
+    if (o.locked_by_other(this)) {
+      abort_tx(obs::AbortCause::kWriteLockConflict, addr);
+    }
     const std::uint64_t v2 = o.version.load(std::memory_order_acquire);
-    if (v1 != v2 || v1 > start_version_) abort_tx();
+    if (v1 != v2 || v1 > start_version_) {
+      abort_tx(obs::AbortCause::kReadValidation, addr);
+    }
     return val;
   }
 
@@ -214,7 +231,9 @@ class Stl2Tx final : public Tl2Tx {
     phase1_pending_extend_ = false;
     for (;;) {
       const std::uint64_t time = shared_.clock().load();
-      if (!compare_set_holds(/*may_wait=*/true)) abort_tx();
+      if (!compare_set_holds(/*may_wait=*/true)) {
+        abort_tx(fail_cause_, conflict_);
+      }
       if (time == shared_.clock().load()) {
         start_version_ = time;
         return;
@@ -227,18 +246,32 @@ class Stl2Tx final : public Tl2Tx {
   /// revalidation. A locked orec means a writer may be mid-write-back, so
   /// the entry cannot be evaluated: wait it out (bounded, §4.2's timeout
   /// mechanism) when we hold no locks ourselves, fail fast otherwise.
+  /// On failure fail_cause_/conflict_ carry the attribution: a stuck lock
+  /// is a write-lock conflict, a flipped outcome a compare-set
+  /// revalidation failure — the signature abort of the semantic design.
   bool compare_set_holds(bool may_wait) {
+    obs::ScopedLatency lat(stats.lat_validate);
     ++stats.validations;
     for (const ReadEntry& e : compares_) {
       sched::tick(sched::Cost::kValidateEntry);
       for (unsigned i = 0; i < e.count; ++i) {
-        if (!wait_unlocked(e.terms[i].addr, may_wait)) return false;
+        if (!wait_unlocked(e.terms[i].addr, may_wait)) {
+          fail_cause_ = obs::AbortCause::kWriteLockConflict;
+          conflict_ = e.terms[i].addr;
+          return false;
+        }
         if (e.terms[i].rhs_addr != nullptr &&
             !wait_unlocked(e.terms[i].rhs_addr, may_wait)) {
+          fail_cause_ = obs::AbortCause::kWriteLockConflict;
+          conflict_ = e.terms[i].rhs_addr;
           return false;
         }
       }
-      if (!e.holds()) return false;  // semantic validation (line 63-64)
+      if (!e.holds()) {  // semantic validation (line 63-64)
+        fail_cause_ = obs::AbortCause::kCmpRevalidation;
+        conflict_ = e.terms[0].addr;
+        return false;
+      }
     }
     return true;
   }

@@ -11,6 +11,8 @@
 
 #include "core/algorithm.hpp"
 #include "core/tx.hpp"
+#include "obs/abort_cause.hpp"
+#include "obs/latency_histogram.hpp"
 #include "runtime/global_clock.hpp"
 #include "runtime/orec.hpp"
 #include "runtime/writeset.hpp"
@@ -70,8 +72,14 @@ class Tl2Tx : public Tx {
     }
     acquire_write_locks();
     const std::uint64_t wv = shared_.clock().fetch_increment();
+    // A wrapped write version would order *before* every recorded orec
+    // version: the clock epoch is over (tagged, though unreachable in any
+    // realistic run).
+    if (wv == 0) fail_locked(obs::AbortCause::kClockOverflow, nullptr);
     // rv + 1 == wv means no writer serialized in between: skip validation.
-    if (wv != start_version_ + 1 && !readset_holds()) fail_locked();
+    if (wv != start_version_ + 1 && !readset_holds()) {
+      fail_locked(fail_cause_, conflict_);
+    }
     write_back(wv);
     finish();
   }
@@ -93,23 +101,38 @@ class Tl2Tx : public Tx {
   word_t read_shared(const tword* addr) {
     Orec& o = shared_.orecs().of(addr);
     const std::uint64_t v1 = o.version.load(std::memory_order_acquire);
-    if (o.locked_by_other(this)) abort_tx();
+    if (o.locked_by_other(this)) {
+      abort_tx(obs::AbortCause::kWriteLockConflict, addr);
+    }
     const word_t val = addr->load(std::memory_order_acquire);
-    if (o.locked_by_other(this)) abort_tx();
+    if (o.locked_by_other(this)) {
+      abort_tx(obs::AbortCause::kWriteLockConflict, addr);
+    }
     const std::uint64_t v2 = o.version.load(std::memory_order_acquire);
-    if (v1 != v2 || v1 > start_version_) abort_tx();
+    if (v1 != v2 || v1 > start_version_) {
+      abort_tx(obs::AbortCause::kReadValidation, addr);
+    }
     reads_.push_back(&o);
     return val;
   }
 
   /// Alg. 7 ValidateReadSet semantics, as a predicate (commit must release
-  /// write locks before aborting).
+  /// write locks before aborting). On failure, fail_cause_/conflict_ carry
+  /// the attribution for the caller's abort: a locked orec is a lock
+  /// conflict with a concurrent committer, a moved version a stale read.
   bool readset_holds() {
+    obs::ScopedLatency lat(stats.lat_validate);
     ++stats.validations;
     for (const Orec* o : reads_) {
       sched::tick(sched::Cost::kValidateEntry);
-      if (o->locked_by_other(this) ||
-          o->version.load(std::memory_order_acquire) > start_version_) {
+      if (o->locked_by_other(this)) {
+        fail_cause_ = obs::AbortCause::kWriteLockConflict;
+        conflict_ = o;
+        return false;
+      }
+      if (o->version.load(std::memory_order_acquire) > start_version_) {
+        fail_cause_ = obs::AbortCause::kReadValidation;
+        conflict_ = o;
         return false;
       }
     }
@@ -120,7 +143,9 @@ class Tl2Tx : public Tx {
     for (const WriteEntry& e : writes_) {
       Orec& o = shared_.orecs().of(e.addr);
       if (o.owner.load(std::memory_order_relaxed) == this) continue;
-      if (!o.try_lock(this)) fail_locked();
+      if (!o.try_lock(this)) {
+        fail_locked(obs::AbortCause::kWriteLockConflict, e.addr);
+      }
       locked_.push_back(&o);
     }
   }
@@ -138,9 +163,9 @@ class Tl2Tx : public Tx {
     release_locks();
   }
 
-  [[noreturn]] void fail_locked() {
+  [[noreturn]] void fail_locked(obs::AbortCause cause, const void* addr) {
     release_locks();
-    abort_tx();
+    abort_tx(cause, addr);
   }
 
   void release_locks() noexcept {
@@ -161,6 +186,11 @@ class Tl2Tx : public Tx {
   WriteSet writes_;
   std::vector<Orec*> locked_;
   std::uint64_t start_version_ = 0;
+  /// Abort attribution handed from a failing validator to the caller that
+  /// performs the (lock-releasing) abort. For orec-granular failures the
+  /// conflicting "address" is the orec itself.
+  obs::AbortCause fail_cause_ = obs::AbortCause::kUnknown;
+  const void* conflict_ = nullptr;
 };
 
 inline std::unique_ptr<Tx> Tl2Algorithm::make_tx() {

@@ -11,6 +11,12 @@
 // User exceptions roll the transaction back and propagate (lazy versioning
 // means no shared state was touched); they are counted as `exceptions`,
 // not aborts — see the accounting contract in core/stats.hpp.
+//
+// Observability: this loop is where abort causes recorded by Tx::abort_tx()
+// are folded into TxStats::abort_causes, and — in SEMSTM_TRACE builds —
+// where attempt latency, backoff waits and serial-token hold times are
+// measured and begin/commit/abort/fallback events are pushed into the
+// descriptor's trace ring (src/obs).
 #pragma once
 
 #include <type_traits>
@@ -18,6 +24,7 @@
 
 #include "core/context.hpp"
 #include "core/tx.hpp"
+#include "obs/clock.hpp"
 #include "sched/yieldpoint.hpp"
 
 namespace semstm {
@@ -30,9 +37,36 @@ struct AttemptLoop {
   ContentionManager& cm;
   std::uint64_t consecutive = 0;
   bool irrevocable = false;
+  std::uint64_t attempt_start = 0;  ///< obs ticks (traced builds only)
+  std::uint64_t gate_acquired = 0;  ///< obs ticks of token acquisition
+
+  void trace(obs::EventKind kind, std::uint64_t ts, std::uint64_t dur,
+             obs::AbortCause cause = obs::AbortCause::kUnknown,
+             const void* addr = nullptr) noexcept {
+    if constexpr (obs::kTraceEnabled) {
+      if (obs::TraceRing* ring = tx.trace_ring()) {
+        ring->push(obs::TraceEvent{ts, dur, addr, kind, cause, 0});
+      }
+    } else {
+      (void)kind, (void)ts, (void)dur, (void)cause, (void)addr;
+    }
+  }
+
+  void on_attempt_start() noexcept {
+    tx.clear_last_abort();
+    if constexpr (obs::kTraceEnabled) {
+      attempt_start = obs::now_ticks();
+      trace(obs::EventKind::kBegin, attempt_start, 0);
+    }
+  }
 
   void on_commit() noexcept {
     ++tx.stats.commits;
+    if constexpr (obs::kTraceEnabled) {
+      const std::uint64_t now = obs::now_ticks();
+      tx.stats.lat_commit.record(now - attempt_start);
+      trace(obs::EventKind::kCommit, now, now - attempt_start);
+    }
     release_token();
     cm.on_finish();
   }
@@ -45,14 +79,30 @@ struct AttemptLoop {
     if (consecutive > tx.stats.max_consec_aborts) {
       tx.stats.max_consec_aborts = consecutive;
     }
+    const obs::AbortInfo& why = tx.last_abort();
+    tx.stats.note_abort_cause(why.cause);
+    if constexpr (obs::kTraceEnabled) {
+      const std::uint64_t now = obs::now_ticks();
+      trace(obs::EventKind::kAbort, now, now - attempt_start, why.cause,
+            why.addr);
+    }
     // Already irrevocable transactions keep the token and simply retry
     // (with the system quiesced they cannot abort again); everyone else
     // asks the policy whether to wait or to escalate.
-    if (!irrevocable && cm.on_abort(consecutive) &&
-        tx.serial_gate() != nullptr) {
-      ++tx.stats.fallbacks;
-      tx.serial_gate()->acquire(&tx);
-      irrevocable = true;
+    if (!irrevocable) {
+      std::uint64_t wait_start = 0;
+      if constexpr (obs::kTraceEnabled) wait_start = obs::now_ticks();
+      const bool escalate = cm.on_abort(consecutive);
+      if constexpr (obs::kTraceEnabled) {
+        tx.stats.lat_backoff.record(obs::now_ticks() - wait_start);
+      }
+      if (escalate && tx.serial_gate() != nullptr) {
+        ++tx.stats.fallbacks;
+        trace(obs::EventKind::kFallback, obs::now_ticks(), 0);
+        tx.serial_gate()->acquire(&tx);
+        if constexpr (obs::kTraceEnabled) gate_acquired = obs::now_ticks();
+        irrevocable = true;
+      }
     }
   }
 
@@ -67,6 +117,11 @@ struct AttemptLoop {
   void release_token() noexcept {
     if (irrevocable) {
       tx.serial_gate()->release();
+      if constexpr (obs::kTraceEnabled) {
+        const std::uint64_t now = obs::now_ticks();
+        tx.stats.lat_gate.record(now - gate_acquired);
+        trace(obs::EventKind::kSerialHold, now, now - gate_acquired);
+      }
       irrevocable = false;
     }
   }
@@ -84,6 +139,7 @@ decltype(auto) atomically(F&& body) {
 
   for (;;) {
     ++tx.stats.starts;
+    loop.on_attempt_start();
     try {
       sched::tick(sched::Cost::kBegin);
       tx.begin();

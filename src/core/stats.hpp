@@ -2,26 +2,49 @@
 //
 // These are the statistics behind the paper's Table 3 (average number of
 // read / write / compare / increment / promote operations per transaction)
-// and the abort-rate series of Figures 1 and 2.
+// and the abort-rate series of Figures 1 and 2, plus the observability
+// layer's abort-cause and latency breakdowns (src/obs).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+
+#include "obs/abort_cause.hpp"
+#include "obs/latency_histogram.hpp"
 
 namespace semstm {
 
 // Accounting contract (kept in sync with atomically()'s retry loop):
 //
 //   starts == commits + aborts + exceptions
+//   aborts == sum(abort_causes)           (every TxAbort is thrown through
+//                                          Tx::abort_tx(cause, addr); an
+//                                          untagged throw — only possible
+//                                          from test doubles driving Tx
+//                                          methods directly — lands in the
+//                                          kUnknown bucket)
 //
 // A *user* exception that escapes the transaction body rolls the attempt
 // back but is counted as `exceptions`, NOT as an abort: the transaction is
 // abandoned rather than retried, so folding it into `aborts` would skew
 // abort_pct() — the very series Figures 1–2 plot — with events that are not
-// contention. `retries` counts loop-backs after an abort (the attempt that
-// follows each abort), `fallbacks` counts escalations to the
+// contention. An explicit Tx::user_abort() IS an abort (cause kUserAbort):
+// the attempt is retried. `retries` counts loop-backs after an abort (the
+// attempt that follows each abort), `fallbacks` counts escalations to the
 // serial-irrevocable token, and `max_consec_aborts` is the high-water mark
 // of consecutive aborts of a single atomically() invocation (aggregated
 // with max, not sum).
+//
+// Latency histograms (populated only in SEMSTM_TRACE builds; always
+// present so the reporting schema is stable):
+//   lat_commit   — begin() -> successful commit, committed attempts only
+//   lat_validate — one read-set / compare-set validation pass (aborting
+//                  passes included: ScopedLatency records during unwind)
+//   lat_backoff  — contention-manager inter-attempt wait
+//   lat_gate     — serial-irrevocable token hold (acquire -> release)
+// Histograms and the cause array aggregate element-wise under operator+=
+// (min/max merged, everything else summed), so thread-level TxStats sum
+// into run-level TxStats exactly like the scalar counters.
 struct TxStats {
   std::uint64_t starts = 0;       ///< attempts (commits + aborts + exceptions)
   std::uint64_t commits = 0;
@@ -38,6 +61,22 @@ struct TxStats {
   std::uint64_t increments = 0;   ///< semantic inc/dec
   std::uint64_t promotions = 0;   ///< inc promoted to read+write (RAW)
   std::uint64_t validations = 0;  ///< read/compare-set validation passes
+
+  /// Aborts by cause, indexed by obs::AbortCause (see the contract above).
+  std::uint64_t abort_causes[obs::kAbortCauseCount] = {};
+
+  obs::LatencyHistogram lat_commit;
+  obs::LatencyHistogram lat_validate;
+  obs::LatencyHistogram lat_backoff;
+  obs::LatencyHistogram lat_gate;
+
+  std::uint64_t abort_cause(obs::AbortCause c) const noexcept {
+    return abort_causes[static_cast<std::size_t>(c)];
+  }
+
+  void note_abort_cause(obs::AbortCause c) noexcept {
+    ++abort_causes[static_cast<std::size_t>(c)];
+  }
 
   TxStats& operator+=(const TxStats& o) noexcept {
     starts += o.starts;
@@ -56,6 +95,13 @@ struct TxStats {
     increments += o.increments;
     promotions += o.promotions;
     validations += o.validations;
+    for (std::size_t i = 0; i < obs::kAbortCauseCount; ++i) {
+      abort_causes[i] += o.abort_causes[i];
+    }
+    lat_commit += o.lat_commit;
+    lat_validate += o.lat_validate;
+    lat_backoff += o.lat_backoff;
+    lat_gate += o.lat_gate;
     return *this;
   }
 

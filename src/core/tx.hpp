@@ -22,12 +22,17 @@
 #include "core/semantics.hpp"
 #include "core/stats.hpp"
 #include "core/word.hpp"
+#include "obs/abort_cause.hpp"
+#include "obs/clock.hpp"
+#include "obs/trace_ring.hpp"
 #include "runtime/serial_gate.hpp"
 
 namespace semstm {
 
 /// Thrown by an algorithm to roll back the current transaction attempt.
-/// Caught exclusively by atomically(); user code never sees it.
+/// Caught exclusively by atomically(); user code never sees it. Always
+/// thrown through Tx::abort_tx(cause, addr), which records the abort's
+/// attribution first (see obs/abort_cause.hpp).
 struct TxAbort {};
 
 class Tx {
@@ -98,11 +103,60 @@ class Tx {
   /// fallback; the algorithms honour it through gate_enter()/gate_exit().
   SerialGate* serial_gate() const noexcept { return gate_; }
 
+  /// Attribution of the most recent abort_tx() of this descriptor.
+  /// atomically() clears it at attempt start and folds it into
+  /// stats.abort_causes on each abort.
+  const obs::AbortInfo& last_abort() const noexcept { return last_abort_; }
+  void clear_last_abort() noexcept { last_abort_ = obs::AbortInfo{}; }
+
+  /// Explicitly abort and retry the current transaction (cause
+  /// kUserAbort). The attempt rolls back and atomically() re-runs the
+  /// body, so the caller must expect the condition that triggered the
+  /// abort to change between attempts (another thread committing).
+  [[noreturn]] void user_abort() { abort_tx(obs::AbortCause::kUserAbort); }
+
+  /// The event-trace ring this descriptor records into, or null. Bound by
+  /// the driver when a run is traced; recording compiles away entirely
+  /// unless the build sets SEMSTM_TRACE (obs::kTraceEnabled).
+  void bind_trace(obs::TraceRing* ring) noexcept { trace_ = ring; }
+  obs::TraceRing* trace_ring() const noexcept { return trace_; }
+
  protected:
   Tx() = default;
 
-  /// Abort the current attempt (does not count stats; atomically() does).
-  [[noreturn]] static void abort_tx() { throw TxAbort{}; }
+  /// Abort the current attempt, recording *why* and (when known) the
+  /// conflicting address or orec. Does not count stats; atomically() does.
+  /// One reclassification applies: a conflict observed while another
+  /// transaction holds (or is draining into) the serial-irrevocable token
+  /// is attributed to kSerialGatePreempt — the root cause is the serial
+  /// transaction the system is quiescing for, not ordinary contention.
+  [[noreturn]] void abort_tx(obs::AbortCause cause,
+                             const void* addr = nullptr) {
+    if (cause != obs::AbortCause::kUserAbort &&
+        cause != obs::AbortCause::kClockOverflow && gate_ != nullptr &&
+        gate_->held() && !gate_->held_by(this)) {
+      cause = obs::AbortCause::kSerialGatePreempt;
+    }
+    last_abort_.cause = cause;
+    last_abort_.addr = addr;
+    throw TxAbort{};
+  }
+
+  /// Record a semantic-operation trace event (no-op unless SEMSTM_TRACE
+  /// and a ring is bound). Called from the semantic algorithms' hooks.
+  void trace_semantic_op(obs::SemanticOp op, const void* addr) noexcept {
+    if constexpr (obs::kTraceEnabled) {
+      if (trace_ != nullptr) {
+        trace_->push(obs::TraceEvent{obs::now_ticks(), 0, addr,
+                                     obs::EventKind::kSemanticOp,
+                                     obs::AbortCause::kUnknown,
+                                     static_cast<std::uint8_t>(op)});
+      }
+    } else {
+      (void)op;
+      (void)addr;
+    }
+  }
 
   /// Called by concrete descriptors' constructors to share the algorithm's
   /// gate.
@@ -131,6 +185,8 @@ class Tx {
  private:
   SerialGate* gate_ = nullptr;
   bool gate_entered_ = false;
+  obs::AbortInfo last_abort_;
+  obs::TraceRing* trace_ = nullptr;
 };
 
 }  // namespace semstm

@@ -1,0 +1,38 @@
+// Observability compile gate and time source.
+//
+// The whole src/obs subsystem is *always compiled* (and unit-tested) so it
+// cannot rot behind the flag; what the SEMSTM_TRACE compile-time gate
+// controls is whether the hot paths *record* into it. With the gate off
+// (the default) every recording site is an `if constexpr (false)` — zero
+// instructions on the transaction fast path. Build with
+// `cmake -DSEMSTM_TRACE=ON` to light it up.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "sched/yieldpoint.hpp"
+
+namespace semstm::obs {
+
+#if defined(SEMSTM_TRACE) && SEMSTM_TRACE
+inline constexpr bool kTraceEnabled = true;
+#else
+inline constexpr bool kTraceEnabled = false;
+#endif
+
+/// Current time in "ticks". Under the virtual scheduler this is the
+/// running fiber's deterministic virtual clock — the same unit as makespan
+/// and throughput, so latency histograms and traces line up with the
+/// figures. Under real threads it is a monotonic hardware clock in
+/// nanoseconds (rdtsc would be cheaper but needs invariant-TSC probing;
+/// traced builds are diagnostic builds, so portability wins).
+inline std::uint64_t now_ticks() noexcept {
+  if (const sched::YieldHook* h = sched::hook()) return h->now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace semstm::obs

@@ -1,0 +1,172 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/abort_cause.hpp"
+
+namespace semstm::obs {
+
+namespace {
+
+/// Minimal JSON string escaping for run labels (quotes and backslashes;
+/// labels are ASCII by construction).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';  // control characters have no business in a label
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+const char* event_display_name(const TraceEvent& e) {
+  if (e.kind == EventKind::kSemanticOp) {
+    return semantic_op_name(static_cast<SemanticOp>(e.aux));
+  }
+  return event_kind_name(e.kind);
+}
+
+}  // namespace
+
+std::size_t TraceExporter::add_run(const std::string& label,
+                                   TraceCollector& collector) {
+  const auto pid = static_cast<std::uint32_t>(runs_.size());
+  runs_.push_back(Run{label, collector.threads(), collector.dropped()});
+  std::size_t drained = 0;
+  for (unsigned tid = 0; tid < collector.threads(); ++tid) {
+    TraceRing& ring = collector.ring(tid);
+    TraceEvent e;
+    while (ring.pop(e)) {
+      events_.push_back(Rec{pid, tid, e});
+      ++drained;
+    }
+  }
+  return drained;
+}
+
+bool TraceExporter::write_chrome(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+
+  // Sort by (pid, ts) for deterministic output; stable so same-timestamp
+  // events keep ring order.
+  std::vector<const Rec*> order;
+  order.reserve(events_.size());
+  for (const Rec& r : events_) order.push_back(&r);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Rec* a, const Rec* b) {
+                     if (a->pid != b->pid) return a->pid < b->pid;
+                     return a->e.ts < b->e.ts;
+                   });
+
+  std::fprintf(f, "{\"traceEvents\":[\n");
+  bool first = true;
+  auto sep = [&] {
+    if (!first) std::fprintf(f, ",\n");
+    first = false;
+  };
+
+  for (std::size_t pid = 0; pid < runs_.size(); ++pid) {
+    sep();
+    std::fprintf(f,
+                 "{\"ph\":\"M\",\"pid\":%zu,\"tid\":0,\"name\":"
+                 "\"process_name\",\"args\":{\"name\":\"%s\"}}",
+                 pid, json_escape(runs_[pid].label).c_str());
+    for (unsigned t = 0; t < runs_[pid].threads; ++t) {
+      sep();
+      std::fprintf(f,
+                   "{\"ph\":\"M\",\"pid\":%zu,\"tid\":%u,\"name\":"
+                   "\"thread_name\",\"args\":{\"name\":\"T%u\"}}",
+                   pid, t, t);
+    }
+  }
+
+  for (const Rec* r : order) {
+    const TraceEvent& e = r->e;
+    sep();
+    const bool complete =
+        e.kind == EventKind::kCommit || e.kind == EventKind::kAbort ||
+        e.kind == EventKind::kSerialHold;
+    // Complete events are emitted at their *start* timestamp.
+    const std::uint64_t ts = complete ? e.ts - e.dur : e.ts;
+    if (complete) {
+      std::fprintf(f,
+                   "{\"ph\":\"X\",\"pid\":%u,\"tid\":%u,\"ts\":%" PRIu64
+                   ",\"dur\":%" PRIu64 ",\"name\":\"%s\"",
+                   r->pid, r->tid, ts, e.dur, event_display_name(e));
+    } else {
+      std::fprintf(f,
+                   "{\"ph\":\"i\",\"pid\":%u,\"tid\":%u,\"ts\":%" PRIu64
+                   ",\"s\":\"t\",\"name\":\"%s\"",
+                   r->pid, r->tid, ts, event_display_name(e));
+    }
+    if (e.kind == EventKind::kAbort) {
+      std::fprintf(f, ",\"args\":{\"cause\":\"%s\",\"addr\":\"%p\"}",
+                   abort_cause_name(e.cause), e.addr);
+    } else if (e.addr != nullptr) {
+      std::fprintf(f, ",\"args\":{\"addr\":\"%p\"}", e.addr);
+    }
+    std::fprintf(f, "}");
+  }
+
+  std::fprintf(f, "\n]}\n");
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+std::string TraceExporter::flame_summary() const {
+  constexpr std::size_t kKinds = 6;
+  struct PerRun {
+    std::array<std::uint64_t, kKinds> count{};
+    std::array<std::uint64_t, kKinds> dur{};
+    std::array<std::uint64_t, kAbortCauseCount> causes{};
+  };
+  std::vector<PerRun> acc(runs_.size());
+  for (const Rec& r : events_) {
+    PerRun& a = acc[r.pid];
+    const auto k = static_cast<std::size_t>(r.e.kind);
+    if (k < kKinds) {
+      ++a.count[k];
+      a.dur[k] += r.e.dur;
+    }
+    if (r.e.kind == EventKind::kAbort) {
+      ++a.causes[static_cast<std::size_t>(r.e.cause)];
+    }
+  }
+
+  std::string out;
+  char line[256];
+  for (std::size_t pid = 0; pid < runs_.size(); ++pid) {
+    std::snprintf(line, sizeof(line), "%s (%u threads, %" PRIu64 " dropped)\n",
+                  runs_[pid].label.c_str(), runs_[pid].threads,
+                  runs_[pid].dropped);
+    out += line;
+    for (std::size_t k = 0; k < kKinds; ++k) {
+      if (acc[pid].count[k] == 0) continue;
+      std::snprintf(line, sizeof(line),
+                    "  %-12s %8" PRIu64 " events  %12" PRIu64 " ticks\n",
+                    event_kind_name(static_cast<EventKind>(k)),
+                    acc[pid].count[k], acc[pid].dur[k]);
+      out += line;
+    }
+    for (std::size_t c = 0; c < kAbortCauseCount; ++c) {
+      if (acc[pid].causes[c] == 0) continue;
+      std::snprintf(line, sizeof(line), "    abort/%-20s %8" PRIu64 "\n",
+                    abort_cause_name(static_cast<AbortCause>(c)),
+                    acc[pid].causes[c]);
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace semstm::obs

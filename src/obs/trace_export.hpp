@@ -1,0 +1,94 @@
+// Trace collection and export.
+//
+// TraceCollector owns one TraceRing per logical thread of a run (the
+// driver binds ring i to thread i's descriptor). TraceExporter drains any
+// number of collectors — one per (algorithm × thread-count) run of a
+// figure sweep — and renders them as:
+//
+//  - Chrome trace_event JSON ("JSON Array Format" with a traceEvents
+//    wrapper), loadable in chrome://tracing or https://ui.perfetto.dev.
+//    Each run becomes one "process" (pid), each logical thread one "tid";
+//    committed/aborted attempts and serial-token holds are complete ("X")
+//    events, begins/fallbacks/semantic ops are instants ("i"), and abort
+//    events carry {"cause", "addr"} args. Timestamps pass through in
+//    obs::now_ticks() units (virtual ticks under the simulator,
+//    nanoseconds under real threads) and are *rendered* as microseconds —
+//    only relative scale matters for inspection.
+//
+//  - A plain-text "flame summary": per run, events and total duration per
+//    kind plus the abort-cause breakdown — the 10-second diagnosis view.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/trace_ring.hpp"
+
+namespace semstm::obs {
+
+class TraceCollector {
+ public:
+  explicit TraceCollector(unsigned capacity_log2 = 14)
+      : capacity_log2_(capacity_log2) {}
+
+  /// Ensure rings 0..threads-1 exist (existing rings are kept).
+  void prepare(unsigned threads) {
+    while (rings_.size() < threads) {
+      rings_.push_back(std::make_unique<TraceRing>(capacity_log2_));
+    }
+  }
+
+  TraceRing& ring(unsigned tid) {
+    prepare(tid + 1);
+    return *rings_[tid];
+  }
+
+  unsigned threads() const noexcept {
+    return static_cast<unsigned>(rings_.size());
+  }
+
+  /// Total events dropped across all rings (capacity pressure indicator).
+  std::uint64_t dropped() const noexcept {
+    std::uint64_t d = 0;
+    for (const auto& r : rings_) d += r->dropped();
+    return d;
+  }
+
+ private:
+  unsigned capacity_log2_;
+  std::vector<std::unique_ptr<TraceRing>> rings_;
+};
+
+class TraceExporter {
+ public:
+  /// Drain `collector`'s rings into this exporter as one "process" named
+  /// `label`. Returns the number of events drained.
+  std::size_t add_run(const std::string& label, TraceCollector& collector);
+
+  /// Write Chrome trace_event JSON. Returns false on I/O failure.
+  bool write_chrome(const std::string& path) const;
+
+  /// Per-run, per-kind totals plus abort-cause breakdown.
+  std::string flame_summary() const;
+
+  std::size_t event_count() const noexcept { return events_.size(); }
+
+ private:
+  struct Rec {
+    std::uint32_t pid;
+    std::uint32_t tid;
+    TraceEvent e;
+  };
+  struct Run {
+    std::string label;
+    unsigned threads;
+    std::uint64_t dropped;
+  };
+
+  std::vector<Run> runs_;
+  std::vector<Rec> events_;
+};
+
+}  // namespace semstm::obs

@@ -21,6 +21,11 @@
 //
 // Selection is per run: `--cm=NAME --retry-limit=N` on every bench binary,
 // or the SEMSTM_CM / SEMSTM_RETRY_LIMIT environment variables (CLI wins).
+//
+// Observability (src/obs): in SEMSTM_TRACE builds atomically() times each
+// on_abort() wait into TxStats::lat_backoff and records an escalation as a
+// kFallback trace event, so a policy's pacing behaviour is directly visible
+// in the latency histograms and the Chrome trace.
 #pragma once
 
 #include <cstdint>

@@ -43,6 +43,13 @@ class SeqLock {
     value_.value.store(locked_value + 1, std::memory_order_release);
   }
 
+  /// Test hook: place the clock near its wrap point so the (otherwise
+  /// unreachable) kClockOverflow abort path can be exercised. Only call
+  /// while no transaction is live on this clock.
+  void set_for_test(std::uint64_t v) noexcept {
+    value_.value.store(v, std::memory_order_release);
+  }
+
  private:
   Padded<std::atomic<std::uint64_t>> value_{};
 };
@@ -64,6 +71,11 @@ class VersionClock {
     return value_.value.compare_exchange_strong(expected, expected + 1,
                                           std::memory_order_acq_rel,
                                           std::memory_order_acquire);
+  }
+
+  /// Test hook: see SeqLock::set_for_test.
+  void set_for_test(std::uint64_t v) noexcept {
+    value_.value.store(v, std::memory_order_release);
   }
 
  private:

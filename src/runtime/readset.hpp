@@ -34,6 +34,18 @@ struct ReadEntry {
     for (unsigned i = 0; i < count && !v; ++i) v = terms[i].eval_now();
     return v == expected;
   }
+
+  /// True when the entry records a *semantic* observation (cmp/cmp2 or a
+  /// composed clause) rather than a plain read's value snapshot — used by
+  /// abort-cause attribution to split kReadValidation from
+  /// kCmpRevalidation. An EQ compare against an immediate that was
+  /// observed true is structurally identical to a plain read and lands in
+  /// the read bucket; the two are also validated identically, so the
+  /// attribution loses nothing.
+  bool semantic() const noexcept {
+    return count != 1 || !expected || terms[0].rel != Rel::EQ ||
+           terms[0].rhs_addr != nullptr;
+  }
 };
 
 class ReadSet {

@@ -19,6 +19,13 @@
 // (no locks/snapshots held), entry waiters hold nothing either, and every
 // entered transaction finishes in finite time (all its waits tick through
 // sched::spin_pause(), so the fiber simulator keeps the system live too).
+//
+// Observability (src/obs): a conflict abort taken while another transaction
+// holds (or is draining into) the token is reclassified by Tx::abort_tx()
+// as kSerialGatePreempt — the root cause is the quiescing serial
+// transaction, not ordinary contention — and in SEMSTM_TRACE builds
+// atomically() times each acquire -> release span into TxStats::lat_gate
+// and emits a kSerialHold trace event.
 #pragma once
 
 #include <atomic>

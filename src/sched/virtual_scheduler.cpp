@@ -103,6 +103,13 @@ struct VirtualScheduler::Impl : YieldHook {
 #endif
   }
 
+  // YieldHook: the running fiber's virtual clock is the observability
+  // layer's time source, so traces and latency histograms are measured in
+  // the same deterministic ticks as throughput.
+  std::uint64_t now() const noexcept override {
+    return current != nullptr ? current->vclock : 0;
+  }
+
   // YieldHook: called from inside the running fiber on every STM op.
   void tick(std::uint64_t cost) override {
     Fiber* f = current;

@@ -37,6 +37,11 @@ class YieldHook {
   virtual ~YieldHook() = default;
   /// Charge `cost` ticks to the current logical thread; may switch fibers.
   virtual void tick(std::uint64_t cost) = 0;
+  /// The current logical thread's virtual clock, in ticks. Used by the
+  /// observability layer (src/obs) so trace timestamps and latency
+  /// histograms are deterministic under the simulator; real-thread mode
+  /// falls back to a hardware clock (obs::now_ticks()).
+  virtual std::uint64_t now() const noexcept { return 0; }
 };
 
 namespace detail {

@@ -33,6 +33,12 @@ RunResult run_workload(const RunConfig& cfg, Workload& workload) {
         make_contention_manager(cfg.cm, s ^ 0xB0FF, cfg.retry_limit)));
     rngs.emplace_back(s);
   }
+  if (cfg.trace != nullptr) {
+    cfg.trace->prepare(cfg.threads);
+    for (unsigned t = 0; t < cfg.threads; ++t) {
+      ctxs[t]->tx->bind_trace(&cfg.trace->ring(t));
+    }
+  }
 
   auto body = [&](unsigned tid) {
     CtxBinder bind(*ctxs[tid]);

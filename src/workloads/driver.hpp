@@ -9,6 +9,7 @@
 
 #include "core/algorithm.hpp"
 #include "core/stats.hpp"
+#include "obs/trace_export.hpp"
 #include "runtime/contention.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
@@ -49,6 +50,12 @@ struct RunConfig {
   /// Consecutive-abort limit before the "bounded" policy goes serial.
   std::uint64_t retry_limit = env_u64_or("SEMSTM_RETRY_LIMIT",
                                          kDefaultRetryLimit);
+  /// Optional trace sink (src/obs). When non-null the driver sizes one
+  /// SPSC ring per thread and binds it to that thread's descriptor, so the
+  /// retry loop streams begin/commit/abort/fallback/semantic-op events into
+  /// it. Only populated in SEMSTM_TRACE builds; harmless to set otherwise
+  /// (the rings simply stay empty). The collector must outlive the run.
+  obs::TraceCollector* trace = nullptr;
 };
 
 struct RunResult {
