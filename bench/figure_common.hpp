@@ -49,6 +49,10 @@ struct FigureSpec {
   /// merged Chrome trace_event JSON is written here (--trace out.json).
   /// Requires a -DSEMSTM_TRACE=ON build to produce events.
   std::string trace_path;
+  /// When non-empty, the machine-readable summary (the same object printed
+  /// as the trailing "# JSON {...}" line) is also written to this file —
+  /// the hook scripts/bench_baseline.sh uses to commit BENCH_*.json.
+  std::string json_out;
   std::vector<AlgoConfig> series = {
       {"norec", false, "NOrec"},
       {"snorec", true, "S-NOrec"},
@@ -72,6 +76,7 @@ inline void apply_cli(FigureSpec& spec, const Cli& cli) {
   spec.retry_limit = static_cast<std::uint64_t>(
       cli.get_int("retry-limit", static_cast<std::int64_t>(spec.retry_limit)));
   spec.trace_path = cli.get("trace", spec.trace_path);
+  spec.json_out = cli.get("json-out", spec.json_out);
   if (!spec.trace_path.empty() && !obs::kTraceEnabled) {
     std::fprintf(stderr,
                  "warning: --trace requested but this binary was built "
@@ -99,6 +104,68 @@ struct SeriesPoint {
   TxStats stats;        // full counters for the JSON summary
 };
 
+/// The machine-readable summary, written either as the trailing
+/// "# JSON {...}" stdout line or verbatim into --json-out's file.
+inline void emit_json_summary(std::FILE* out, const FigureSpec& spec,
+                              const std::vector<std::vector<SeriesPoint>>& table) {
+  std::fprintf(out, "{\"figure\":\"%s\",\"metric\":\"%s\",\"cm\":\"%s\","
+               "\"retry_limit\":%llu,\"series\":[",
+               spec.name.c_str(), spec.metric.c_str(), spec.cm.c_str(),
+               static_cast<unsigned long long>(spec.retry_limit));
+  for (std::size_t s = 0; s < spec.series.size(); ++s) {
+    std::fprintf(out, "%s{\"label\":\"%s\",\"algo\":\"%s\",\"points\":[",
+                 s == 0 ? "" : ",", spec.series[s].label.c_str(),
+                 spec.series[s].algo.c_str());
+    for (std::size_t t = 0; t < spec.threads.size(); ++t) {
+      const SeriesPoint& p = table[s][t];
+      const TxStats& st = p.stats;
+      std::fprintf(
+          out,
+          "%s{\"threads\":%u,\"metric\":%.6g,\"abort_pct\":%.4g,"
+          "\"commits\":%llu,\"aborts\":%llu,\"retries\":%llu,"
+          "\"fallbacks\":%llu,\"max_consec_aborts\":%llu,"
+          "\"exceptions\":%llu,\"validations\":%llu,"
+          "\"readset_adds\":%llu,\"readset_dups\":%llu,"
+          "\"validate_entries\":%llu,\"abort_causes\":{",
+          t == 0 ? "" : ",", spec.threads[t], p.metric_value, p.abort_pct,
+          static_cast<unsigned long long>(st.commits),
+          static_cast<unsigned long long>(st.aborts),
+          static_cast<unsigned long long>(st.retries),
+          static_cast<unsigned long long>(st.fallbacks),
+          static_cast<unsigned long long>(st.max_consec_aborts),
+          static_cast<unsigned long long>(st.exceptions),
+          static_cast<unsigned long long>(st.validations),
+          static_cast<unsigned long long>(st.readset_adds),
+          static_cast<unsigned long long>(st.readset_dups),
+          static_cast<unsigned long long>(st.validate_entries));
+      for (std::size_t c = 0; c < obs::kAbortCauseCount; ++c) {
+        std::fprintf(out, "%s\"%s\":%llu", c == 0 ? "" : ",",
+                     obs::abort_cause_name(static_cast<obs::AbortCause>(c)),
+                     static_cast<unsigned long long>(
+                         st.abort_cause(static_cast<obs::AbortCause>(c))));
+      }
+      // Latency percentiles (obs ticks). All-zero unless the binary was
+      // built with -DSEMSTM_TRACE=ON — the schema is stable either way.
+      std::fprintf(
+          out,
+          "},\"commit_p50\":%llu,\"commit_p99\":%llu,"
+          "\"validate_p50\":%llu,\"validate_p99\":%llu,"
+          "\"backoff_p50\":%llu,\"backoff_p99\":%llu,"
+          "\"gate_p50\":%llu,\"gate_p99\":%llu}",
+          static_cast<unsigned long long>(st.lat_commit.percentile(50)),
+          static_cast<unsigned long long>(st.lat_commit.percentile(99)),
+          static_cast<unsigned long long>(st.lat_validate.percentile(50)),
+          static_cast<unsigned long long>(st.lat_validate.percentile(99)),
+          static_cast<unsigned long long>(st.lat_backoff.percentile(50)),
+          static_cast<unsigned long long>(st.lat_backoff.percentile(99)),
+          static_cast<unsigned long long>(st.lat_gate.percentile(50)),
+          static_cast<unsigned long long>(st.lat_gate.percentile(99)));
+    }
+    std::fprintf(out, "]}");
+  }
+  std::fprintf(out, "]}\n");
+}
+
 inline void run_figure(const FigureSpec& spec, const WorkloadFactory& make) {
   std::printf("# %s\n", spec.name.c_str());
   std::printf("# mode=%s ops_per_thread=%llu cm=%s retry_limit=%llu%s\n",
@@ -119,9 +186,13 @@ inline void run_figure(const FigureSpec& spec, const WorkloadFactory& make) {
       cfg.algo = spec.series[s].algo;
       cfg.threads = threads;
       cfg.mode = spec.mode;
-      cfg.ops_per_thread = spec.fixed_total_work
-                               ? spec.ops_per_thread / threads
-                               : spec.ops_per_thread;
+      cfg.ops_per_thread = spec.ops_per_thread;
+      if (spec.fixed_total_work) {
+        // Lossless split: the remainder ops land on the first threads, so
+        // every point of the sweep executes exactly spec.ops_per_thread
+        // total operations (not up to threads-1 fewer).
+        cfg.ops_by_thread = split_total_ops(spec.ops_per_thread, threads);
+      }
       cfg.seed = spec.seed;
       cfg.sim_quantum = spec.sim_quantum;
       cfg.cm = spec.cm;
@@ -221,54 +292,21 @@ inline void run_figure(const FigureSpec& spec, const WorkloadFactory& make) {
 
   // Machine-readable summary (one JSON object per figure) so sweep scripts
   // can pull retry/fallback counters without parsing the CSV blocks.
-  std::printf("\n# JSON {\"figure\":\"%s\",\"metric\":\"%s\",\"cm\":\"%s\","
-              "\"retry_limit\":%llu,\"series\":[",
-              spec.name.c_str(), spec.metric.c_str(), spec.cm.c_str(),
-              static_cast<unsigned long long>(spec.retry_limit));
-  for (std::size_t s = 0; s < spec.series.size(); ++s) {
-    std::printf("%s{\"label\":\"%s\",\"algo\":\"%s\",\"points\":[",
-                s == 0 ? "" : ",", spec.series[s].label.c_str(),
-                spec.series[s].algo.c_str());
-    for (std::size_t t = 0; t < spec.threads.size(); ++t) {
-      const SeriesPoint& p = table[s][t];
-      const TxStats& st = p.stats;
-      std::printf(
-          "%s{\"threads\":%u,\"metric\":%.6g,\"abort_pct\":%.4g,"
-          "\"commits\":%llu,\"aborts\":%llu,\"retries\":%llu,"
-          "\"fallbacks\":%llu,\"max_consec_aborts\":%llu,"
-          "\"exceptions\":%llu,\"abort_causes\":{",
-          t == 0 ? "" : ",", spec.threads[t], p.metric_value, p.abort_pct,
-          static_cast<unsigned long long>(st.commits),
-          static_cast<unsigned long long>(st.aborts),
-          static_cast<unsigned long long>(st.retries),
-          static_cast<unsigned long long>(st.fallbacks),
-          static_cast<unsigned long long>(st.max_consec_aborts),
-          static_cast<unsigned long long>(st.exceptions));
-      for (std::size_t c = 0; c < obs::kAbortCauseCount; ++c) {
-        std::printf("%s\"%s\":%llu", c == 0 ? "" : ",",
-                    obs::abort_cause_name(static_cast<obs::AbortCause>(c)),
-                    static_cast<unsigned long long>(
-                        st.abort_cause(static_cast<obs::AbortCause>(c))));
-      }
-      // Latency percentiles (obs ticks). All-zero unless the binary was
-      // built with -DSEMSTM_TRACE=ON — the schema is stable either way.
-      std::printf(
-          "},\"commit_p50\":%llu,\"commit_p99\":%llu,"
-          "\"validate_p50\":%llu,\"validate_p99\":%llu,"
-          "\"backoff_p50\":%llu,\"backoff_p99\":%llu,"
-          "\"gate_p50\":%llu,\"gate_p99\":%llu}",
-          static_cast<unsigned long long>(st.lat_commit.percentile(50)),
-          static_cast<unsigned long long>(st.lat_commit.percentile(99)),
-          static_cast<unsigned long long>(st.lat_validate.percentile(50)),
-          static_cast<unsigned long long>(st.lat_validate.percentile(99)),
-          static_cast<unsigned long long>(st.lat_backoff.percentile(50)),
-          static_cast<unsigned long long>(st.lat_backoff.percentile(99)),
-          static_cast<unsigned long long>(st.lat_gate.percentile(50)),
-          static_cast<unsigned long long>(st.lat_gate.percentile(99)));
+  std::printf("\n# JSON ");
+  emit_json_summary(stdout, spec, table);
+  std::printf("\n");
+
+  if (!spec.json_out.empty()) {
+    std::FILE* f = std::fopen(spec.json_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot open --json-out file %s\n",
+                   spec.json_out.c_str());
+      std::exit(2);
     }
-    std::printf("]}");
+    emit_json_summary(f, spec, table);
+    std::fclose(f);
+    std::printf("# json summary -> %s\n", spec.json_out.c_str());
   }
-  std::printf("]}\n\n");
 
   if (!spec.trace_path.empty()) {
     if (exporter.write_chrome(spec.trace_path)) {

@@ -6,6 +6,9 @@
 // compare-set itself").
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -140,4 +143,46 @@ BENCHMARK(BM_WriteSetLookup)->RangeMultiplier(4)->Range(4, 1024)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() plus one extra flag: --json-out=FILE writes the full
+// google-benchmark JSON report to FILE while the console report still goes
+// to stdout — the hook scripts/bench_baseline.sh uses to commit
+// BENCH_micro.json. The flag is stripped before benchmark::Initialize so
+// the library's own strict flag parsing stays intact.
+int main(int argc, char** argv) {
+  // Rewrite --json-out=FILE (or --json-out FILE) into the pair of native
+  // flags the library validates together; everything else passes through.
+  std::string json_out;
+  std::vector<std::string> storage;
+  storage.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json-out=", 11) == 0) {
+      json_out = argv[i] + 11;
+    } else if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
+      json_out = argv[++i];
+    } else {
+      storage.emplace_back(argv[i]);
+    }
+  }
+  if (!json_out.empty()) {
+    // Fail before the run, not after minutes of benchmarking.
+    std::ofstream probe(json_out, std::ios::app);
+    if (!probe) {
+      std::fprintf(stderr, "error: cannot open --json-out file %s\n",
+                   json_out.c_str());
+      return 2;
+    }
+    storage.push_back("--benchmark_out=" + json_out);
+    storage.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> args;
+  args.reserve(storage.size());
+  for (auto& s : storage) args.push_back(s.data());
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

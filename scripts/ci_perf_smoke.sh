@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Perf-regression smoke: rebuild Release, regenerate both baselines into a
+# temp dir, and compare against the committed BENCH_micro.json /
+# BENCH_fig1.json. Fails (exit 1) only on *gross* regressions:
+#
+#   micro_ops   wall-clock cpu_time per benchmark, threshold 50% — the
+#               suite runs on shared CI hosts, so only a blowup (an
+#               accidental O(reads) validation loop, a lost fast path)
+#               should trip it, not scheduler noise.
+#   fig1 suite  sim-mode commits/Mtick per (figure, series, threads),
+#               threshold 30% — virtual ticks are deterministic and
+#               load-independent, so anything beyond small cost-model
+#               drift is a real hot-path regression.
+#
+# When a PR moves performance *intentionally*, regenerate the baselines
+# with scripts/bench_baseline.sh and commit them alongside the change.
+#
+# Usage: scripts/ci_perf_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+for f in BENCH_micro.json BENCH_fig1.json; do
+    if [ ! -f "$f" ]; then
+        echo "error: committed baseline $f missing (run scripts/bench_baseline.sh)" >&2
+        exit 1
+    fi
+done
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "${tmpdir}"' EXIT
+
+scripts/bench_baseline.sh "${tmpdir}"
+
+echo "=== compare against committed baselines ==="
+python3 - "${tmpdir}" <<'EOF'
+import json
+import sys
+
+tmpdir = sys.argv[1]
+failures = []
+
+# --- micro_ops: google-benchmark JSON, keyed by benchmark name ---------
+MICRO_THRESHOLD = 0.50  # fresh may be up to 50% slower than baseline
+
+def micro_times(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {b["name"]: float(b["cpu_time"])
+            for b in doc.get("benchmarks", [])
+            if b.get("run_type", "iteration") == "iteration"}
+
+base = micro_times("BENCH_micro.json")
+fresh = micro_times(f"{tmpdir}/BENCH_micro.json")
+for name, t0 in sorted(base.items()):
+    t1 = fresh.get(name)
+    if t1 is None:
+        failures.append(f"micro: benchmark disappeared: {name}")
+        continue
+    if t0 > 0 and (t1 - t0) / t0 > MICRO_THRESHOLD:
+        failures.append(
+            f"micro: {name}: cpu_time {t0:.1f} -> {t1:.1f} ns "
+            f"(+{100*(t1-t0)/t0:.0f}% > {100*MICRO_THRESHOLD:.0f}%)")
+
+# --- fig1: deterministic sim throughput per (figure, series, threads) --
+FIG_THRESHOLD = 0.30  # fresh throughput may be at most 30% below baseline
+
+def fig_points(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for fig in doc["figures"]:
+        for series in fig["series"]:
+            for p in series["points"]:
+                key = (fig["figure"], series["label"], p["threads"])
+                out[key] = float(p["metric"])
+    return out
+
+base = fig_points("BENCH_fig1.json")
+fresh = fig_points(f"{tmpdir}/BENCH_fig1.json")
+for key, m0 in sorted(base.items()):
+    m1 = fresh.get(key)
+    if m1 is None:
+        failures.append(f"fig1: point disappeared: {key}")
+        continue
+    if m0 > 0 and (m0 - m1) / m0 > FIG_THRESHOLD:
+        failures.append(
+            f"fig1: {key}: throughput {m0:.1f} -> {m1:.1f} commits/Mtick "
+            f"(-{100*(m0-m1)/m0:.0f}% > {100*FIG_THRESHOLD:.0f}%)")
+
+if failures:
+    print("PERF SMOKE FAILED:")
+    for f in failures:
+        print("  " + f)
+    sys.exit(1)
+print(f"perf smoke OK: {len(fresh)} fig1 points and micro suite within thresholds")
+EOF

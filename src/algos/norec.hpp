@@ -52,7 +52,7 @@ class NorecTx : public Tx {
     ++stats.reads;
     if (WriteEntry* e = writes_.find(addr)) return raw(addr, e);
     const word_t v = read_valid(addr);
-    reads_.append_value(addr, v);  // plain read recorded as semantic EQ
+    track_value(addr, v);  // plain read recorded as semantic EQ
     return v;
   }
 
@@ -94,6 +94,17 @@ class NorecTx : public Tx {
     return e->value;
   }
 
+  /// Append a value snapshot to the read-set, counting dedup economy:
+  /// ReadSet::append_value skips entries identical to one in its trailing
+  /// window, which keeps validate() O(unique reads) under repeated reads.
+  void track_value(const tword* addr, word_t observed) {
+    if (reads_.append_value(addr, observed)) {
+      ++stats.readset_adds;
+    } else {
+      ++stats.readset_dups;
+    }
+  }
+
   /// Alg. 6 ReadValid (lines 10-16): re-validate whenever the global
   /// timestamp moved since our snapshot, then (re)read.
   word_t read_valid(const tword* addr) {
@@ -115,12 +126,13 @@ class NorecTx : public Tx {
     for (;;) {
       const std::uint64_t time = shared_.lock().sample_even();
       ++stats.validations;
-      for (const ReadEntry& e : reads_) {
+      for (const auto clause : reads_) {
         sched::tick(sched::Cost::kValidateEntry);
-        if (!e.holds()) {
-          abort_tx(e.semantic() ? obs::AbortCause::kCmpRevalidation
-                                : obs::AbortCause::kReadValidation,
-                   e.terms[0].addr);
+        ++stats.validate_entries;
+        if (!clause.holds()) {
+          abort_tx(clause.semantic() ? obs::AbortCause::kCmpRevalidation
+                                     : obs::AbortCause::kReadValidation,
+                   clause.addr());
         }
       }
       if (time == shared_.lock().load()) return time;

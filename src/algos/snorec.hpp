@@ -42,6 +42,7 @@ class SnorecTx final : public NorecTx {
     const word_t v = read_valid(addr);
     const bool result = eval(rel, v, operand);
     reads_.append_cmp(addr, rel, operand, result);
+    ++stats.readset_adds;
     return result;
   }
 
@@ -65,6 +66,7 @@ class SnorecTx final : public NorecTx {
     const word_t vb = read_valid(b);
     const bool result = eval(rel, va, vb);
     reads_.append_cmp2(a, rel, b, result);
+    ++stats.readset_adds;
     return result;
   }
 
@@ -95,6 +97,7 @@ class SnorecTx final : public NorecTx {
       if (snapshot_ == shared_.lock().load()) break;  // consistent snapshot
     }
     reads_.append_clause(terms, n, outcome);
+    ++stats.readset_adds;
     return outcome;
   }
 
@@ -114,7 +117,7 @@ class SnorecTx final : public NorecTx {
       ++stats.promotions;
       trace_semantic_op(obs::SemanticOp::kPromote, addr);
       const word_t current = read_valid(addr);
-      reads_.append_value(addr, current);    // the read part of the promotion
+      track_value(addr, current);            // the read part of the promotion
       e->value += current;                   // delta + observed value
       e->kind = WriteKind::kWrite;
     }

@@ -63,6 +63,7 @@ class Stl2Tx final : public Tl2Tx {
     const word_t val = read_for_cmp(addr);
     const bool result = eval(rel, val, operand);
     compares_.append_cmp(addr, rel, operand, result);
+    ++stats.readset_adds;
     if (phase1_pending_extend_) extend_start_version();
     return result;
   }
@@ -85,6 +86,7 @@ class Stl2Tx final : public Tl2Tx {
     const word_t vb = read_for_cmp(b);
     const bool result = eval(rel, va, vb);
     compares_.append_cmp2(a, rel, b, result);
+    ++stats.readset_adds;
     if (first_extend || phase1_pending_extend_) extend_start_version();
     return result;
   }
@@ -118,6 +120,7 @@ class Stl2Tx final : public Tl2Tx {
       outcome = outcome || eval(terms[i].rel, lhs, rhs);
     }
     compares_.append_clause(terms, n, outcome);
+    ++stats.readset_adds;
     if (extend) {
       phase1_pending_extend_ = true;
       extend_start_version();
@@ -252,24 +255,26 @@ class Stl2Tx final : public Tl2Tx {
   bool compare_set_holds(bool may_wait) {
     obs::ScopedLatency lat(stats.lat_validate);
     ++stats.validations;
-    for (const ReadEntry& e : compares_) {
+    for (const auto clause : compares_) {
       sched::tick(sched::Cost::kValidateEntry);
-      for (unsigned i = 0; i < e.count; ++i) {
-        if (!wait_unlocked(e.terms[i].addr, may_wait)) {
+      ++stats.validate_entries;
+      for (unsigned i = 0; i < clause.count(); ++i) {
+        const ReadEntry& term = clause.row(i);
+        if (!wait_unlocked(term.addr, may_wait)) {
           fail_cause_ = obs::AbortCause::kWriteLockConflict;
-          conflict_ = e.terms[i].addr;
+          conflict_ = term.addr;
           return false;
         }
-        if (e.terms[i].rhs_addr != nullptr &&
-            !wait_unlocked(e.terms[i].rhs_addr, may_wait)) {
+        if (term.rhs_addr != nullptr &&
+            !wait_unlocked(term.rhs_addr, may_wait)) {
           fail_cause_ = obs::AbortCause::kWriteLockConflict;
-          conflict_ = e.terms[i].rhs_addr;
+          conflict_ = term.rhs_addr;
           return false;
         }
       }
-      if (!e.holds()) {  // semantic validation (line 63-64)
+      if (!clause.holds()) {  // semantic validation (line 63-64)
         fail_cause_ = obs::AbortCause::kCmpRevalidation;
-        conflict_ = e.terms[0].addr;
+        conflict_ = clause.addr();
         return false;
       }
     }

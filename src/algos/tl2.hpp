@@ -5,7 +5,9 @@
 // operations delegate to plain reads/writes (Tx defaults).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <iterator>
 #include <memory>
 #include <vector>
 
@@ -48,6 +50,7 @@ class Tl2Tx : public Tx {
     gate_enter();  // quiesce while a serial-irrevocable transaction runs
     reads_.clear();
     writes_.clear();
+    ++attempt_epoch_;  // invalidates the whole dedup cache in O(1)
     start_version_ = shared_.clock().load();
   }
 
@@ -112,8 +115,32 @@ class Tl2Tx : public Tx {
     if (v1 != v2 || v1 > start_version_) {
       abort_tx(obs::AbortCause::kReadValidation, addr);
     }
-    reads_.push_back(&o);
+    track_orec(&o);
     return val;
+  }
+
+  /// Record an orec in the read-set, deduplicating through a small
+  /// direct-mapped cache of recently tracked orecs. Entries are validated
+  /// by attempt epoch instead of being wiped each begin(), so starting a
+  /// transaction stays O(1). Repeated reads of one stripe (loop bodies,
+  /// field re-reads) hit the cache and skip the append, keeping
+  /// commit-time validation O(unique stripes) instead of O(reads). A
+  /// duplicate that slips past the cache (slot eviction) only costs a
+  /// redundant validation — never correctness: validating the same orec
+  /// twice is idempotent.
+  void track_orec(const Orec* o) {
+    // Orecs are 16-byte slots of one array; >>4 spreads neighbours.
+    const std::size_t slot =
+        (reinterpret_cast<std::uintptr_t>(o) >> 4) & (kSeenSlots - 1);
+    Seen& s = seen_[slot];
+    if (s.orec == o && s.epoch == attempt_epoch_) {
+      ++stats.readset_dups;
+      return;
+    }
+    s.orec = o;
+    s.epoch = attempt_epoch_;
+    reads_.push_back(o);
+    ++stats.readset_adds;
   }
 
   /// Alg. 7 ValidateReadSet semantics, as a predicate (commit must release
@@ -125,6 +152,7 @@ class Tl2Tx : public Tx {
     ++stats.validations;
     for (const Orec* o : reads_) {
       sched::tick(sched::Cost::kValidateEntry);
+      ++stats.validate_entries;
       if (o->locked_by_other(this)) {
         fail_cause_ = obs::AbortCause::kWriteLockConflict;
         conflict_ = o;
@@ -181,8 +209,20 @@ class Tl2Tx : public Tx {
     writes_.clear();
   }
 
+  static constexpr std::size_t kSeenSlots = 16;
+
+  /// One dedup-cache line: an orec recently appended to reads_, valid only
+  /// while epoch matches the current attempt (epoch is 64-bit: it cannot
+  /// wrap into a stale-but-matching state within any feasible run).
+  struct Seen {
+    const Orec* orec = nullptr;
+    std::uint64_t epoch = 0;
+  };
+
   Tl2Algorithm& shared_;
-  std::vector<const Orec*> reads_;  ///< TL2 read-set: orecs only
+  Seen seen_[kSeenSlots];              ///< direct-mapped dedup cache
+  std::uint64_t attempt_epoch_ = 0;
+  std::vector<const Orec*> reads_;  ///< TL2 read-set: deduped orecs
   WriteSet writes_;
   std::vector<Orec*> locked_;
   std::uint64_t start_version_ = 0;

@@ -62,6 +62,16 @@ struct TxStats {
   std::uint64_t promotions = 0;   ///< inc promoted to read+write (RAW)
   std::uint64_t validations = 0;  ///< read/compare-set validation passes
 
+  // Read-set economy counters (PR 3): dedup keeps commit-time validation
+  // O(unique locations) instead of O(reads). `readset_adds` counts entries
+  // actually appended to a read/compare-set, `readset_dups` the appends
+  // skipped because an equivalent entry was already tracked, and
+  // `validate_entries` the entries examined across all validation passes —
+  // the direct measure of validation work per commit.
+  std::uint64_t readset_adds = 0;
+  std::uint64_t readset_dups = 0;
+  std::uint64_t validate_entries = 0;
+
   /// Aborts by cause, indexed by obs::AbortCause (see the contract above).
   std::uint64_t abort_causes[obs::kAbortCauseCount] = {};
 
@@ -95,6 +105,9 @@ struct TxStats {
     increments += o.increments;
     promotions += o.promotions;
     validations += o.validations;
+    readset_adds += o.readset_adds;
+    readset_dups += o.readset_dups;
+    validate_entries += o.validate_entries;
     for (std::size_t i = 0; i < obs::kAbortCauseCount; ++i) {
       abort_causes[i] += o.abort_causes[i];
     }

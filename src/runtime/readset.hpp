@@ -10,6 +10,21 @@
 //    clause validated as a unit: the entry holds while the OR of its terms
 //    still evaluates to the recorded outcome. Conjunctions need no special
 //    support — `A && B` observed true is simply two entries.
+//
+// Hot-path design (PR 3). The read-set is appended to on *every* plain
+// read, so entry size is per-access metadata cost — the overhead the
+// paper's headline claim is about. Two choices keep it small and the
+// validation loop O(unique reads):
+//  - Rows are 32 bytes: one flat term plus clause header, instead of a
+//    fixed kMaxTerms-term array. Multi-term clauses (rare) span the head
+//    row plus nterms-1 continuation rows; iteration is clause-granular.
+//  - append_value deduplicates identical value snapshots against a small
+//    trailing window, so a transaction that re-reads the same address
+//    repeatedly validates it once, not once per read. Skipping is
+//    semantics-preserving: validating `addr EQ observed` twice is exactly
+//    validating it once, and within one transaction two plain reads of the
+//    same address can only legally observe the same value (a change fails
+//    the earlier entry during revalidation).
 #pragma once
 
 #include <cstddef>
@@ -21,83 +36,167 @@
 
 namespace semstm {
 
+/// One 32-byte row. Head rows carry the clause header (nterms ≥ 1,
+/// expected); continuation rows (terms 2..n of a composed clause) have
+/// nterms == 0 and are only reachable through their head.
 struct ReadEntry {
-  static constexpr unsigned kMaxTerms = 3;
+  const tword* addr = nullptr;
+  const tword* rhs_addr = nullptr;  ///< non-null: address–address compare
+  word_t operand = 0;
+  Rel rel = Rel::EQ;
+  std::uint8_t nterms = 1;  ///< rows in this clause (head); 0 = continuation
+  bool expected = true;     ///< recorded outcome of the OR over the terms
 
-  CmpTerm terms[kMaxTerms];
-  std::uint8_t count = 0;
-  bool expected = true;  ///< recorded outcome of the OR over the terms
-
-  /// Semantic validation: does the clause still evaluate to `expected`?
-  bool holds() const noexcept {
-    bool v = false;
-    for (unsigned i = 0; i < count && !v; ++i) v = terms[i].eval_now();
-    return v == expected;
-  }
-
-  /// True when the entry records a *semantic* observation (cmp/cmp2 or a
-  /// composed clause) rather than a plain read's value snapshot — used by
-  /// abort-cause attribution to split kReadValidation from
-  /// kCmpRevalidation. An EQ compare against an immediate that was
-  /// observed true is structurally identical to a plain read and lands in
-  /// the read bucket; the two are also validated identically, so the
-  /// attribution loses nothing.
-  bool semantic() const noexcept {
-    return count != 1 || !expected || terms[0].rel != Rel::EQ ||
-           terms[0].rhs_addr != nullptr;
+  /// Re-evaluate this row's term against current memory.
+  bool term_eval_now() const noexcept {
+    const word_t lhs = addr->load(std::memory_order_acquire);
+    const word_t rhs =
+        rhs_addr ? rhs_addr->load(std::memory_order_acquire) : operand;
+    return eval(rel, lhs, rhs);
   }
 };
+static_assert(sizeof(ReadEntry) == 32,
+              "read-set rows are per-access metadata; keep them compact");
 
 class ReadSet {
  public:
-  void append_value(const tword* addr, word_t observed) {
-    ReadEntry e;
-    e.terms[0] = CmpTerm{addr, nullptr, observed, Rel::EQ};
-    e.count = 1;
-    e.expected = true;
-    entries_.push_back(e);
+  static constexpr unsigned kMaxTerms = 3;
+
+  /// How many trailing rows append_value scans for an identical value
+  /// snapshot before appending. Repeated reads of the same address are
+  /// temporally clustered (loop bodies, field re-reads), so a tiny window
+  /// catches nearly all duplicates at O(1) cost per read.
+  static constexpr std::size_t kDedupWindow = 4;
+
+  /// Clause view over a head row and its continuation rows.
+  class Clause {
+   public:
+    explicit Clause(const ReadEntry* head) : head_(head) {}
+
+    unsigned count() const noexcept { return head_->nterms; }
+    const ReadEntry& row(unsigned i) const noexcept { return head_[i]; }
+    const tword* addr() const noexcept { return head_->addr; }
+    bool expected() const noexcept { return head_->expected; }
+
+    /// Semantic validation: does the clause still evaluate to `expected`?
+    bool holds() const noexcept {
+      bool v = false;
+      for (unsigned i = 0; i < head_->nterms && !v; ++i) {
+        v = head_[i].term_eval_now();
+      }
+      return v == head_->expected;
+    }
+
+    /// True when the clause records a *semantic* observation (cmp/cmp2 or
+    /// a composed clause) rather than a plain read's value snapshot — used
+    /// by abort-cause attribution to split kReadValidation from
+    /// kCmpRevalidation. An EQ compare against an immediate that was
+    /// observed true is structurally identical to a plain read and lands
+    /// in the read bucket; the two are also validated identically, so the
+    /// attribution loses nothing.
+    bool semantic() const noexcept {
+      return head_->nterms != 1 || !head_->expected ||
+             head_->rel != Rel::EQ || head_->rhs_addr != nullptr;
+    }
+
+   private:
+    const ReadEntry* head_;
+  };
+
+  /// Clause-granular iterator: ++ skips a head row and its continuations.
+  class const_iterator {
+   public:
+    struct ArrowProxy {
+      Clause c;
+      const Clause* operator->() const noexcept { return &c; }
+    };
+
+    explicit const_iterator(const ReadEntry* p) : p_(p) {}
+    Clause operator*() const noexcept { return Clause(p_); }
+    ArrowProxy operator->() const noexcept { return {Clause(p_)}; }
+    const_iterator& operator++() noexcept {
+      p_ += p_->nterms;
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const noexcept {
+      return p_ == o.p_;
+    }
+    bool operator!=(const const_iterator& o) const noexcept {
+      return p_ != o.p_;
+    }
+
+   private:
+    const ReadEntry* p_;
+  };
+
+  /// Record a plain read's value snapshot. Returns false when an identical
+  /// entry (same address, same observed value) sits within the dedup
+  /// window — the duplicate is skipped.
+  bool append_value(const tword* addr, word_t observed) {
+    const std::size_t n = entries_.size();
+    const std::size_t lookback = n < kDedupWindow ? n : kDedupWindow;
+    for (std::size_t i = 0; i < lookback; ++i) {
+      const ReadEntry& p = entries_[n - 1 - i];
+      // nterms == 1 excludes clause heads AND continuation rows (0).
+      if (p.addr == addr && p.operand == observed && p.nterms == 1 &&
+          p.expected && p.rel == Rel::EQ && p.rhs_addr == nullptr) {
+        return false;
+      }
+    }
+    entries_.push_back(ReadEntry{addr, nullptr, observed, Rel::EQ, 1, true});
+    ++clauses_;
+    return true;
   }
 
   /// Record a semantic compare with its observed outcome.
   void append_cmp(const tword* addr, Rel rel, word_t operand, bool outcome) {
-    ReadEntry e;
-    e.terms[0] = CmpTerm{addr, nullptr, operand, rel};
-    e.count = 1;
-    e.expected = outcome;
-    entries_.push_back(e);
+    entries_.push_back(ReadEntry{addr, nullptr, operand, rel, 1, outcome});
+    ++clauses_;
   }
 
   void append_cmp2(const tword* a, Rel rel, const tword* b, bool outcome) {
-    ReadEntry e;
-    e.terms[0] = CmpTerm{a, b, 0, rel};
-    e.count = 1;
-    e.expected = outcome;
-    entries_.push_back(e);
+    entries_.push_back(ReadEntry{a, b, 0, rel, 1, outcome});
+    ++clauses_;
   }
 
   /// Record a disjunctive clause (OR of up to kMaxTerms terms) with its
-  /// observed outcome.
+  /// observed outcome. A zero-term clause is vacuous (its OR is constantly
+  /// false) and records nothing.
   void append_clause(const CmpTerm* terms, std::size_t n, bool outcome) {
-    ReadEntry e;
-    for (std::size_t i = 0; i < n && i < ReadEntry::kMaxTerms; ++i) {
-      e.terms[i] = terms[i];
+    const std::size_t m = n < kMaxTerms ? n : kMaxTerms;
+    if (m == 0) return;
+    entries_.push_back(ReadEntry{terms[0].addr, terms[0].rhs_addr,
+                                 terms[0].operand, terms[0].rel,
+                                 static_cast<std::uint8_t>(m), outcome});
+    for (std::size_t i = 1; i < m; ++i) {
+      entries_.push_back(ReadEntry{terms[i].addr, terms[i].rhs_addr,
+                                   terms[i].operand, terms[i].rel, 0,
+                                   outcome});
     }
-    e.count = static_cast<std::uint8_t>(n < ReadEntry::kMaxTerms
-                                            ? n
-                                            : ReadEntry::kMaxTerms);
-    e.expected = outcome;
-    entries_.push_back(e);
+    ++clauses_;
   }
 
   bool empty() const noexcept { return entries_.empty(); }
-  std::size_t size() const noexcept { return entries_.size(); }
-  void clear() noexcept { entries_.clear(); }
+  /// Number of clauses (validation units), not rows.
+  std::size_t size() const noexcept { return clauses_; }
+  /// Number of 32-byte rows (clauses plus continuation rows).
+  std::size_t rows() const noexcept { return entries_.size(); }
 
-  auto begin() const noexcept { return entries_.begin(); }
-  auto end() const noexcept { return entries_.end(); }
+  void clear() noexcept {
+    entries_.clear();
+    clauses_ = 0;
+  }
+
+  const_iterator begin() const noexcept {
+    return const_iterator(entries_.data());
+  }
+  const_iterator end() const noexcept {
+    return const_iterator(entries_.data() + entries_.size());
+  }
 
  private:
   std::vector<ReadEntry> entries_;
+  std::size_t clauses_ = 0;
 };
 
 /// S-TL2 keeps semantic compares in a dedicated set with the same entry

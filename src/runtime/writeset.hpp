@@ -6,6 +6,16 @@
 // 44–52 of Algorithm 6:
 //   - inc   after (write|inc):  accumulate delta, keep existing kind
 //   - write after (write|inc):  overwrite value, kind becomes WRITE
+//
+// Hot-path design: every transactional read in the NOrec/TL2 families
+// consults the write-set first (read-after-write), and in read-dominated
+// transactions that lookup is almost always a miss — frequently against an
+// entirely empty set. A word-sized Bloom summary (one bit per entry hash)
+// turns those misses into a single AND+branch: `filter_ & bit_of(addr)`
+// is zero whenever the address was never inserted, so the common miss
+// never hashes into the bucket index at all. False positives (two
+// addresses sharing a summary bit) only cost the old probe; correctness
+// never depends on the filter.
 #pragma once
 
 #include <cassert>
@@ -29,8 +39,19 @@ class WriteSet {
  public:
   WriteSet() { reset_table(kInitialBuckets); }
 
+  /// One-bit summary of an address: a single bit of a 64-bit Bloom filter.
+  /// Cheap on purpose (multiply + shift) — it runs on every read miss.
+  static std::uint64_t bit_of(const tword* addr) noexcept {
+    auto h = reinterpret_cast<std::uintptr_t>(addr) >> 3;
+    h *= 0x9E3779B97F4A7C15ULL;
+    return std::uint64_t{1} << (h >> 58);  // top 6 bits select the lane
+  }
+
   /// Lookup; returns nullptr when the address has no pending effect.
+  /// The Bloom summary rejects definite misses (empty set included)
+  /// before any hashing into the bucket index.
   WriteEntry* find(const tword* addr) noexcept {
+    if ((filter_ & bit_of(addr)) == 0) return nullptr;
     std::size_t slot = probe_of(addr);
     while (index_[slot] != kEmpty) {
       WriteEntry& e = entries_[index_[slot]];
@@ -65,10 +86,24 @@ class WriteSet {
   bool empty() const noexcept { return entries_.empty(); }
   std::size_t size() const noexcept { return entries_.size(); }
 
+  /// The Bloom summary word (tests assert reset/false-positive behaviour).
+  std::uint64_t summary() const noexcept { return filter_; }
+
+  /// Bucket count of the open-addressing index (tests assert that grown
+  /// capacity is retained across clear()).
+  std::size_t bucket_count() const noexcept { return index_.size(); }
+
+  /// Reset for the next attempt of the same descriptor. Grown capacity is
+  /// retained up to kMaxRetainedBuckets so a large transaction does not
+  /// re-grow its table from 64 buckets on every retry; beyond the cap the
+  /// table shrinks back so one pathological transaction cannot pin an
+  /// arbitrarily large index (and entry arena) on an idle descriptor.
   void clear() noexcept {
     entries_.clear();
-    if (index_.size() != kInitialBuckets) {
-      reset_table(kInitialBuckets);
+    filter_ = 0;
+    if (index_.size() > kMaxRetainedBuckets) {
+      reset_table(kMaxRetainedBuckets);
+      entries_.shrink_to_fit();
     } else {
       std::fill(index_.begin(), index_.end(), kEmpty);
     }
@@ -79,8 +114,13 @@ class WriteSet {
   auto begin() const noexcept { return entries_.begin(); }
   auto end() const noexcept { return entries_.end(); }
 
- private:
   static constexpr std::size_t kInitialBuckets = 64;
+  /// High-water retention cap: 4096 buckets of u32 index = 16 KiB, big
+  /// enough that realistic transactions (STAMP-scale write-sets) never
+  /// rebuild across retries, small enough to hold per descriptor.
+  static constexpr std::size_t kMaxRetainedBuckets = 4096;
+
+ private:
   static constexpr std::uint32_t kEmpty = UINT32_MAX;
 
   std::size_t probe_of(const tword* addr) const noexcept {
@@ -94,6 +134,7 @@ class WriteSet {
   void insert(WriteEntry e) {
     if ((entries_.size() + 1) * 4 > index_.size() * 3) grow();
     entries_.push_back(e);
+    filter_ |= bit_of(e.addr);
     place(static_cast<std::uint32_t>(entries_.size() - 1));
   }
 
@@ -114,6 +155,7 @@ class WriteSet {
     mask_ = buckets - 1;
   }
 
+  std::uint64_t filter_ = 0;  ///< Bloom summary over entries_' addresses
   std::vector<WriteEntry> entries_;
   std::vector<std::uint32_t> index_;
   std::size_t mask_ = 0;

@@ -1,9 +1,12 @@
 // Minimal command-line option parsing for the benchmark binaries.
 //
 // Supports "--key=value", "--key value" and bare "--flag" forms. Unknown
-// arguments are reported so that typos in sweep scripts fail loudly.
+// arguments are reported so that typos in sweep scripts fail loudly — and
+// so are malformed numbers: "--ops=10k" or "--threads=2;4" exit(2) with
+// the offending token instead of silently parsing a prefix.
 #pragma once
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -12,6 +15,48 @@
 #include <vector>
 
 namespace semstm {
+
+namespace detail {
+
+/// Strict end-pointer numeric parse: the whole token must be consumed.
+/// `what` names the source ("--ops", "SEMSTM_RETRY_LIMIT") in the error.
+[[noreturn]] inline void die_bad_number(const char* what, const char* tok) {
+  std::fprintf(stderr, "error: %s: malformed number '%s'\n", what, tok);
+  std::exit(2);
+}
+
+inline std::int64_t parse_i64(const char* what, const std::string& tok) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(tok.c_str(), &end, 10);
+  if (tok.empty() || end != tok.c_str() + tok.size() || errno == ERANGE) {
+    die_bad_number(what, tok.c_str());
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+inline std::uint64_t parse_u64(const char* what, const std::string& tok) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+  if (tok.empty() || end != tok.c_str() + tok.size() || errno == ERANGE ||
+      tok[0] == '-') {
+    die_bad_number(what, tok.c_str());
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+inline double parse_f64(const char* what, const std::string& tok) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (tok.empty() || end != tok.c_str() + tok.size() || errno == ERANGE) {
+    die_bad_number(what, tok.c_str());
+  }
+  return v;
+}
+
+}  // namespace detail
 
 /// Environment-variable fallback for run-wide defaults (e.g. SEMSTM_CM).
 /// CLI flags always win: callers use `cli.get(key, env_or(...))`.
@@ -22,7 +67,7 @@ inline std::string env_or(const char* var, const char* dflt) {
 
 inline std::uint64_t env_u64_or(const char* var, std::uint64_t dflt) {
   const char* v = std::getenv(var);
-  return (v != nullptr && *v != '\0') ? std::strtoull(v, nullptr, 10) : dflt;
+  return (v != nullptr && *v != '\0') ? detail::parse_u64(var, v) : dflt;
 }
 
 class Cli {
@@ -55,27 +100,33 @@ class Cli {
 
   std::int64_t get_int(const std::string& key, std::int64_t dflt) const {
     auto it = kv_.find(key);
-    return it == kv_.end() ? dflt : std::strtoll(it->second.c_str(), nullptr, 10);
+    if (it == kv_.end()) return dflt;
+    return detail::parse_i64(("--" + key).c_str(), it->second);
   }
 
   double get_double(const std::string& key, double dflt) const {
     auto it = kv_.find(key);
-    return it == kv_.end() ? dflt : std::strtod(it->second.c_str(), nullptr);
+    if (it == kv_.end()) return dflt;
+    return detail::parse_f64(("--" + key).c_str(), it->second);
   }
 
-  /// Parse "1,2,4,8" style lists (used for thread sweeps).
+  /// Parse "1,2,4,8" style lists (used for thread sweeps). Every element
+  /// must be a complete unsigned number: "2;4" or "4x" fail loudly.
   std::vector<unsigned> get_list(const std::string& key,
                                  std::vector<unsigned> dflt) const {
     auto it = kv_.find(key);
     if (it == kv_.end()) return dflt;
     std::vector<unsigned> out;
     const std::string& s = it->second;
+    const std::string what = "--" + key;
     std::size_t pos = 0;
-    while (pos < s.size()) {
+    while (pos <= s.size()) {
       auto comma = s.find(',', pos);
       if (comma == std::string::npos) comma = s.size();
-      out.push_back(static_cast<unsigned>(
-          std::strtoul(s.substr(pos, comma - pos).c_str(), nullptr, 10)));
+      const std::uint64_t v =
+          detail::parse_u64(what.c_str(), s.substr(pos, comma - pos));
+      if (v > 0xFFFFFFFFull) detail::die_bad_number(what.c_str(), s.c_str());
+      out.push_back(static_cast<unsigned>(v));
       pos = comma + 1;
     }
     return out;

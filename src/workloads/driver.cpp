@@ -40,10 +40,20 @@ RunResult run_workload(const RunConfig& cfg, Workload& workload) {
     }
   }
 
+  if (!cfg.ops_by_thread.empty() && cfg.ops_by_thread.size() != cfg.threads) {
+    std::fprintf(stderr,
+                 "error: ops_by_thread has %zu entries for %u threads\n",
+                 cfg.ops_by_thread.size(), cfg.threads);
+    std::exit(2);
+  }
+
   auto body = [&](unsigned tid) {
     CtxBinder bind(*ctxs[tid]);
     Rng& rng = rngs[tid];
-    for (std::uint64_t i = 0; i < cfg.ops_per_thread; ++i) {
+    const std::uint64_t ops = cfg.ops_by_thread.empty()
+                                  ? cfg.ops_per_thread
+                                  : cfg.ops_by_thread[tid];
+    for (std::uint64_t i = 0; i < ops; ++i) {
       workload.op(tid, rng);
     }
   };

@@ -4,8 +4,11 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/algorithm.hpp"
 #include "core/stats.hpp"
@@ -33,11 +36,35 @@ enum class ExecMode : std::uint8_t {
   kReal,  ///< real std::thread concurrency
 };
 
+/// Split `total` operations across `threads` with no remainder loss: the
+/// first `total % threads` threads run one extra op, so the sum is exactly
+/// `total` at every thread count (the fixed-total-work invariant the
+/// completion-time figures compare across the sweep). Exits loudly when
+/// total < threads — some threads would run zero ops and the "completion
+/// time of the same work" comparison would be silently meaningless.
+inline std::vector<std::uint64_t> split_total_ops(std::uint64_t total,
+                                                  unsigned threads) {
+  if (threads == 0 || total < threads) {
+    std::fprintf(stderr,
+                 "error: fixed total work of %llu ops cannot be split over "
+                 "%u threads (need at least one op per thread)\n",
+                 static_cast<unsigned long long>(total), threads);
+    std::exit(2);
+  }
+  std::vector<std::uint64_t> per(threads, total / threads);
+  for (std::uint64_t t = 0; t < total % threads; ++t) ++per[t];
+  return per;
+}
+
 struct RunConfig {
   std::string algo = "norec";
   unsigned threads = 4;
   ExecMode mode = ExecMode::kSim;
   std::uint64_t ops_per_thread = 1000;
+  /// When non-empty (size must equal `threads`), overrides ops_per_thread
+  /// with an explicit per-thread op count — the fixed-total-work path
+  /// (split_total_ops) uses this to distribute the division remainder.
+  std::vector<std::uint64_t> ops_by_thread;
   std::uint64_t seed = 0xC0FFEE;
   AlgoOptions algo_opts{};
   /// Simulator scheduling slack (see sched::SimOptions::quantum).

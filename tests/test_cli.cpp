@@ -1,0 +1,117 @@
+// Strict CLI / environment parsing (PR 3). Malformed numbers used to be
+// silently truncated by atoll ("--ops=10k" ran 10 ops); now every numeric
+// token must parse completely or the process exits(2) naming the token.
+// Rejection paths are death tests: the parser is specified to terminate.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+
+namespace semstm {
+namespace {
+
+Cli make_cli(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;  // keep c_str()s alive
+  storage = std::move(args);
+  argv.push_back(const_cast<char*>("prog"));
+  for (auto& a : storage) argv.push_back(const_cast<char*>(a.c_str()));
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ParsesWellFormedInts) {
+  Cli cli = make_cli({"--ops=1000", "--threads", "4", "--neg=-7"});
+  EXPECT_EQ(cli.get_int("ops", 0), 1000);
+  EXPECT_EQ(cli.get_int("threads", 0), 4);
+  EXPECT_EQ(cli.get_int("neg", 0), -7);
+  EXPECT_EQ(cli.get_int("absent", 42), 42);
+}
+
+TEST(Cli, ParsesWellFormedDoublesAndLists) {
+  Cli cli = make_cli({"--frac=0.25", "--threads=1,2,8"});
+  EXPECT_DOUBLE_EQ(cli.get_double("frac", 0.0), 0.25);
+  const std::vector<unsigned> t = cli.get_list("threads", {});
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], 1u);
+  EXPECT_EQ(t[1], 2u);
+  EXPECT_EQ(t[2], 8u);
+  const std::vector<unsigned> d = cli.get_list("absent", {3, 5});
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[0], 3u);
+}
+
+TEST(CliDeath, RejectsTrailingGarbageInt) {
+  Cli cli = make_cli({"--ops=10k"});
+  EXPECT_EXIT(cli.get_int("ops", 0), ::testing::ExitedWithCode(2),
+              "--ops: malformed number '10k'");
+}
+
+TEST(CliDeath, RejectsEmptyValue) {
+  Cli cli = make_cli({"--ops="});
+  EXPECT_EXIT(cli.get_int("ops", 0), ::testing::ExitedWithCode(2),
+              "malformed number");
+}
+
+TEST(CliDeath, RejectsGarbageDouble) {
+  Cli cli = make_cli({"--frac=0.5abc"});
+  EXPECT_EXIT(cli.get_double("frac", 0.0), ::testing::ExitedWithCode(2),
+              "--frac: malformed number '0.5abc'");
+}
+
+TEST(CliDeath, RejectsSemicolonSeparatedList) {
+  Cli cli = make_cli({"--threads=2;4"});
+  EXPECT_EXIT(cli.get_list("threads", {}), ::testing::ExitedWithCode(2),
+              "--threads: malformed number '2;4'");
+}
+
+TEST(CliDeath, RejectsListElementWithSuffix) {
+  Cli cli = make_cli({"--threads=1,4x,8"});
+  EXPECT_EXIT(cli.get_list("threads", {}), ::testing::ExitedWithCode(2),
+              "--threads: malformed number '4x'");
+}
+
+TEST(CliDeath, RejectsTrailingCommaInList) {
+  Cli cli = make_cli({"--threads=1,2,"});
+  EXPECT_EXIT(cli.get_list("threads", {}), ::testing::ExitedWithCode(2),
+              "malformed number");
+}
+
+TEST(CliDeath, RejectsNegativeListElement) {
+  Cli cli = make_cli({"--threads=-1"});
+  EXPECT_EXIT(cli.get_list("threads", {}), ::testing::ExitedWithCode(2),
+              "malformed number");
+}
+
+TEST(CliDeath, RejectsUnrecognizedArgument) {
+  EXPECT_EXIT(make_cli({"ops=10"}), ::testing::ExitedWithCode(2),
+              "unrecognized argument");
+}
+
+TEST(EnvParse, UsesDefaultWhenUnsetAndParsesWhenSet) {
+  ::unsetenv("SEMSTM_TEST_U64");
+  EXPECT_EQ(env_u64_or("SEMSTM_TEST_U64", 17u), 17u);
+  ::setenv("SEMSTM_TEST_U64", "123", 1);
+  EXPECT_EQ(env_u64_or("SEMSTM_TEST_U64", 17u), 123u);
+  ::unsetenv("SEMSTM_TEST_U64");
+}
+
+TEST(EnvParseDeath, RejectsGarbageEnvValue) {
+  ::setenv("SEMSTM_TEST_U64", "12q", 1);
+  EXPECT_EXIT(env_u64_or("SEMSTM_TEST_U64", 17u),
+              ::testing::ExitedWithCode(2),
+              "SEMSTM_TEST_U64: malformed number '12q'");
+  ::unsetenv("SEMSTM_TEST_U64");
+}
+
+TEST(EnvParseDeath, RejectsNegativeEnvValue) {
+  ::setenv("SEMSTM_TEST_U64", "-3", 1);
+  EXPECT_EXIT(env_u64_or("SEMSTM_TEST_U64", 17u),
+              ::testing::ExitedWithCode(2), "malformed number");
+  ::unsetenv("SEMSTM_TEST_U64");
+}
+
+}  // namespace
+}  // namespace semstm

@@ -1,6 +1,8 @@
 // Unit tests for read-set / compare-set entries and semantic validation.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "runtime/readset.hpp"
 
 namespace semstm {
@@ -56,9 +58,9 @@ TEST(ReadSet, AddressAddressEntryComparesBothCurrentValues) {
   EXPECT_FALSE(rs.begin()->holds());
 }
 
-TEST(ReadSet, DuplicateReadsGetIndependentEntries) {
-  // §4.1 read-after-read: two entries are appended, each validated on its
-  // own (the paper deliberately does not deduplicate).
+TEST(ReadSet, ValueAndCmpOnSameAddressGetIndependentEntries) {
+  // §4.1 read-after-read: a value snapshot and a semantic compare of the
+  // same address are different observations — each validated on its own.
   ReadSet rs;
   tword x{1};
   rs.append_value(&x, 1);
@@ -70,6 +72,124 @@ TEST(ReadSet, DuplicateReadsGetIndependentEntries) {
   EXPECT_TRUE((++it)->holds());    // semantic entry still true
 }
 
+TEST(ReadSet, IdenticalValueSnapshotDeduplicates) {
+  // Re-reading an address re-observes the same value (anything else would
+  // have aborted); the duplicate entry is skipped, so validation work is
+  // O(unique reads) — and validation outcomes are unchanged, because
+  // `addr EQ v` twice validates exactly like `addr EQ v` once.
+  ReadSet rs;
+  tword x{7};
+  EXPECT_TRUE(rs.append_value(&x, 7));
+  EXPECT_FALSE(rs.append_value(&x, 7));
+  EXPECT_FALSE(rs.append_value(&x, 7));
+  EXPECT_EQ(rs.size(), 1u);
+  EXPECT_TRUE(rs.begin()->holds());
+  x.store(8);
+  EXPECT_FALSE(rs.begin()->holds());  // still value-validated
+}
+
+TEST(ReadSet, DifferentObservedValuesDoNotDeduplicate) {
+  ReadSet rs;
+  tword x{1};
+  EXPECT_TRUE(rs.append_value(&x, 1));
+  EXPECT_TRUE(rs.append_value(&x, 2));  // different snapshot: kept
+  EXPECT_EQ(rs.size(), 2u);
+}
+
+TEST(ReadSet, DedupLooksBeyondImmediatelyPrecedingEntry) {
+  // read A, read B, read A: the second A is within the dedup window even
+  // though it is not the last entry.
+  ReadSet rs;
+  tword a{1};
+  tword b{2};
+  EXPECT_TRUE(rs.append_value(&a, 1));
+  EXPECT_TRUE(rs.append_value(&b, 2));
+  EXPECT_FALSE(rs.append_value(&a, 1));
+  EXPECT_EQ(rs.size(), 2u);
+}
+
+TEST(ReadSet, DedupWindowIsBounded) {
+  // A duplicate further back than kDedupWindow distinct entries is
+  // re-appended — harmless (validated twice), and keeps the append O(1).
+  ReadSet rs;
+  tword a{1};
+  std::vector<tword> spacers(ReadSet::kDedupWindow);
+  EXPECT_TRUE(rs.append_value(&a, 1));
+  for (std::size_t i = 0; i < spacers.size(); ++i) {
+    spacers[i].store(static_cast<word_t>(i));
+    EXPECT_TRUE(rs.append_value(&spacers[i], static_cast<word_t>(i)));
+  }
+  EXPECT_TRUE(rs.append_value(&a, 1));  // beyond the window: appended
+  EXPECT_EQ(rs.size(), 2u + spacers.size());
+}
+
+TEST(ReadSet, CmpEntriesNeverDeduplicateAgainstValueEntries) {
+  // A semantic EQ observed *false* must not be mistaken for (or swallow)
+  // a plain value snapshot of the same address/operand.
+  ReadSet rs;
+  tword x{5};
+  rs.append_cmp(&x, Rel::EQ, 3, /*outcome=*/false);  // x != 3 holds
+  EXPECT_TRUE(rs.append_value(&x, 5));
+  EXPECT_EQ(rs.size(), 2u);
+  auto it = rs.begin();
+  EXPECT_TRUE(it->semantic());
+  EXPECT_FALSE((++it)->semantic());
+}
+
+TEST(ReadSet, MultiTermClauseValidatesAsUnitAndSkipsDedup) {
+  // A composed disjunction occupies a head row plus continuation rows;
+  // iteration stays clause-granular and holds() evaluates the whole OR.
+  ReadSet rs;
+  tword state{0};
+  tword key{42};
+  const CmpTerm terms[2] = {
+      CmpTerm{&state, nullptr, 1, Rel::EQ},   // state == REMOVED(1)
+      CmpTerm{&key, nullptr, 42, Rel::NEQ},   // key != probe
+  };
+  rs.append_clause(terms, 2, /*outcome=*/false);  // both false when recorded
+  EXPECT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs.rows(), 2u);
+  EXPECT_TRUE(rs.begin()->holds());
+  key.store(43);  // second disjunct flips: the OR outcome changes
+  EXPECT_FALSE(rs.begin()->holds());
+  key.store(42);
+  state.store(1);  // first disjunct flips instead
+  EXPECT_FALSE(rs.begin()->holds());
+  // A same-address value append after the clause is NOT deduped against
+  // clause rows.
+  EXPECT_TRUE(rs.append_value(&state, 1));
+  EXPECT_EQ(rs.size(), 2u);
+}
+
+TEST(ReadSet, ClauseIterationSkipsContinuationRows) {
+  ReadSet rs;
+  tword a{1};
+  tword b{2};
+  tword c{3};
+  const CmpTerm terms[3] = {
+      CmpTerm{&a, nullptr, 9, Rel::EQ},
+      CmpTerm{&b, nullptr, 9, Rel::EQ},
+      CmpTerm{&c, nullptr, 9, Rel::EQ},
+  };
+  rs.append_clause(terms, 3, /*outcome=*/false);
+  rs.append_value(&a, 1);
+  EXPECT_EQ(rs.size(), 2u);
+  EXPECT_EQ(rs.rows(), 4u);
+  std::size_t clauses = 0;
+  for (auto it = rs.begin(); it != rs.end(); ++it) {
+    ++clauses;
+    EXPECT_TRUE(it->holds());
+  }
+  EXPECT_EQ(clauses, 2u);
+}
+
+TEST(ReadSet, ZeroTermClauseRecordsNothing) {
+  // An empty OR is constantly false — vacuous, nothing to revalidate.
+  ReadSet rs;
+  rs.append_clause(nullptr, 0, /*outcome=*/false);
+  EXPECT_TRUE(rs.empty());
+}
+
 TEST(ReadSet, ClearResets) {
   ReadSet rs;
   tword x{1};
@@ -77,6 +197,8 @@ TEST(ReadSet, ClearResets) {
   rs.clear();
   EXPECT_TRUE(rs.empty());
   EXPECT_EQ(rs.size(), 0u);
+  // Post-clear, the dedup window must not see pre-clear entries.
+  EXPECT_TRUE(rs.append_value(&x, 1));
 }
 
 }  // namespace

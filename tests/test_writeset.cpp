@@ -159,6 +159,80 @@ TEST(WriteSet, ClearEmptiesAndReusable) {
   EXPECT_EQ(ws.find(&words[0])->value, 9u);
 }
 
+TEST(WriteSet, SummaryFilterEmptyRejectsWithoutProbe) {
+  // An empty set has a zero summary: find() must miss on the AND+branch
+  // fast path for any address.
+  WriteSet ws;
+  EXPECT_EQ(ws.summary(), 0u);
+  std::vector<tword> words(64);
+  for (auto& w : words) EXPECT_EQ(ws.find(&w), nullptr);
+}
+
+TEST(WriteSet, SummaryFilterSetsBitPerInsert) {
+  WriteSet ws;
+  tword w{0};
+  ws.put_write(&w, 1);
+  EXPECT_EQ(ws.summary() & WriteSet::bit_of(&w), WriteSet::bit_of(&w));
+}
+
+TEST(WriteSet, SummaryFilterFalsePositiveStillReturnsCorrectResult) {
+  // With 64 filter lanes and >64 distinct addresses inserted, queries for
+  // absent addresses are guaranteed to collide with set bits somewhere —
+  // the filter may pass, but the probe must still answer nullptr.
+  WriteSet ws;
+  std::vector<tword> present(128);
+  std::vector<tword> absent(128);
+  for (auto& w : present) ws.put_write(&w, 7);
+  bool saw_filter_pass_on_absent = false;
+  for (auto& w : absent) {
+    if ((ws.summary() & WriteSet::bit_of(&w)) != 0) {
+      saw_filter_pass_on_absent = true;  // a genuine false positive
+    }
+    EXPECT_EQ(ws.find(&w), nullptr);
+  }
+  EXPECT_TRUE(saw_filter_pass_on_absent);
+  for (auto& w : present) ASSERT_NE(ws.find(&w), nullptr);
+}
+
+TEST(WriteSet, SummaryFilterResetsOnClear) {
+  WriteSet ws;
+  tword w{0};
+  ws.put_write(&w, 1);
+  ASSERT_NE(ws.summary(), 0u);
+  ws.clear();
+  EXPECT_EQ(ws.summary(), 0u);
+  EXPECT_EQ(ws.find(&w), nullptr);
+}
+
+TEST(WriteSet, ClearRetainsGrownCapacityForRetries) {
+  // A retry of the same large transaction must not re-grow the index from
+  // 64 buckets: clear() keeps the grown table (below the high-water cap).
+  WriteSet ws;
+  std::vector<tword> words(512);
+  for (auto& w : words) ws.put_write(&w, 1);
+  const std::size_t grown = ws.bucket_count();
+  ASSERT_GT(grown, WriteSet::kInitialBuckets);
+  ASSERT_LE(grown, WriteSet::kMaxRetainedBuckets);
+  ws.clear();
+  EXPECT_EQ(ws.bucket_count(), grown);
+  // And the retained table still answers correctly.
+  for (auto& w : words) EXPECT_EQ(ws.find(&w), nullptr);
+  ws.put_write(&words[0], 2);
+  EXPECT_EQ(ws.find(&words[0])->value, 2u);
+}
+
+TEST(WriteSet, ClearShrinksPathologicallyGrownTable) {
+  // One pathological transaction must not pin an arbitrarily large index
+  // on an idle descriptor: beyond the cap, clear() shrinks back.
+  WriteSet ws;
+  std::vector<tword> words(8192);
+  for (auto& w : words) ws.put_write(&w, 1);
+  ASSERT_GT(ws.bucket_count(), WriteSet::kMaxRetainedBuckets);
+  ws.clear();
+  EXPECT_EQ(ws.bucket_count(), WriteSet::kMaxRetainedBuckets);
+  for (auto& w : words) EXPECT_EQ(ws.find(&w), nullptr);
+}
+
 TEST(WriteSet, IterationVisitsEveryEntryOnce) {
   WriteSet ws;
   std::vector<tword> words(50);
