@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# One-command PR gate: chains every CI stage in cheapest-first order so a
+# broken build fails in seconds, not after the perf suite.
+#
+#   1. tier-1 ctest        (Debug build: functional + conformance suites)
+#   2. ci_sanitize.sh      (ASan/UBSan + TSan test passes)
+#   3. ci_trace_smoke.sh   (SEMSTM_TRACE build + trace pipeline smoke)
+#   4. ci_perf_smoke.sh    (Release rebuild vs committed perf baselines)
+#
+# Usage: scripts/ci_all.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="$(nproc)"
+
+echo "=== [1/4] build + tier-1 ctest ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "${jobs}" >/dev/null
+ctest --test-dir build --output-on-failure
+
+echo "=== [2/4] sanitizers ==="
+scripts/ci_sanitize.sh
+
+echo "=== [3/4] trace smoke ==="
+scripts/ci_trace_smoke.sh
+
+echo "=== [4/4] perf smoke ==="
+scripts/ci_perf_smoke.sh
+
+echo "ci_all: all stages passed"

@@ -13,8 +13,11 @@
 //
 // Observability: CGL never conflict-aborts, so the only abort cause it can
 // ever contribute to the TxStats cause histogram is kUserAbort (an explicit
-// Tx::user_abort() inside the body, tagged by core/tx.hpp). Its
-// lat_validate histogram stays empty — there is nothing to validate.
+// user_abort() inside the body, tagged by core/tx.hpp). Its lat_validate
+// histogram stays empty — there is nothing to validate.
+//
+// CglCore is a sealed non-virtual descriptor (DESIGN.md §4.12); the
+// type-erased tier is TxFacade<CglCore>.
 #pragma once
 
 #include <atomic>
@@ -44,18 +47,20 @@ class CglAlgorithm final : public Algorithm {
   Padded<std::atomic<bool>> flag_{};
 };
 
-class CglTx final : public Tx {
+class CglCore final : public TxCoreBase {
  public:
-  explicit CglTx(CglAlgorithm& shared) : shared_(shared) {
+  explicit CglCore(CglAlgorithm& shared) : shared_(shared) {
     bind_gate(shared.serial_gate());
   }
-  ~CglTx() override {
+  ~CglCore() {
     if (holding_) shared_.unlock();
   }
 
-  const char* algorithm() const noexcept override { return "cgl"; }
+  static constexpr AlgoId kId = AlgoId::kCgl;
+  static constexpr const char* kName = "cgl";
+  const char* algorithm() const noexcept { return kName; }
 
-  void begin() override {
+  void begin() {
     // Gate first, lock second: a thread blocked on the serial-irrevocable
     // token must not hold the global lock, or the token holder could never
     // run its (lock-acquiring) transaction.
@@ -65,7 +70,7 @@ class CglTx final : public Tx {
     holding_ = true;
   }
 
-  void commit() override {
+  void commit() {
     sched::tick(sched::Cost::kCommit);
     for (const WriteEntry& e : writes_) {
       e.addr->store(e.value, std::memory_order_relaxed);
@@ -74,23 +79,34 @@ class CglTx final : public Tx {
     release();
   }
 
-  void rollback() override {
+  void rollback() {
     writes_.clear();
     release();
   }
 
-  word_t read(const tword* addr) override {
+  word_t read(const tword* addr) {
     sched::tick(sched::Cost::kRead);
     ++stats.reads;
     if (const WriteEntry* e = writes_.find(addr)) return e->value;
     return addr->load(std::memory_order_relaxed);
   }
 
-  void write(tword* addr, word_t value) override {
+  void write(tword* addr, word_t value) {
     sched::tick(sched::Cost::kWrite);
     ++stats.writes;
     writes_.put_write(addr, value);
   }
+
+  bool cmp(const tword* addr, Rel rel, word_t operand) {
+    return generic_cmp(*this, addr, rel, operand);
+  }
+  bool cmp2(const tword* a, Rel rel, const tword* b) {
+    return generic_cmp2(*this, a, rel, b);
+  }
+  bool cmp_or(const CmpTerm* terms, std::size_t n) {
+    return generic_cmp_or(*this, terms, n);
+  }
+  void inc(tword* addr, word_t delta) { generic_inc(*this, addr, delta); }
 
  private:
   void release() noexcept {
@@ -107,7 +123,7 @@ class CglTx final : public Tx {
 };
 
 inline std::unique_ptr<Tx> CglAlgorithm::make_tx() {
-  return std::make_unique<CglTx>(*this);
+  return std::make_unique<TxFacade<CglCore>>(*this);
 }
 
 }  // namespace semstm

@@ -3,8 +3,16 @@
 // timestamped lock (SeqLock).
 //
 // This is the paper's value-based baseline. Semantic operations (cmp/inc)
-// fall through to Tx's default read/write delegation — i.e. NOrec treats
-// them conservatively, exactly like the unmodified algorithm in libitm.
+// lower to plain reads/writes through the generic_* delegations — i.e.
+// NOrec treats them conservatively, exactly like the unmodified algorithm
+// in libitm.
+//
+// Two-tier layout (DESIGN.md §4.12): NorecCoreT is the CRTP descriptor
+// logic — non-virtual, statically dispatched — shared with S-NOrec, which
+// customizes only the read-after-write hook (`raw`) and the semantic ops
+// by *shadowing*, never overriding. NorecCore is the sealed plain-NOrec
+// instantiation; the virtual NorecTx of old survives as
+// TxFacade<NorecCore>.
 #pragma once
 
 #include <memory>
@@ -32,37 +40,40 @@ class NorecAlgorithm : public Algorithm {
   SeqLock lock_;
 };
 
-class NorecTx : public Tx {
+/// NOrec descriptor logic, statically dispatched. `Derived` supplies the
+/// read-after-write hook raw(addr, entry) — plain NOrec returns the
+/// buffered value, S-NOrec promotes pending increments — resolved at
+/// compile time through the CRTP self() cast.
+template <typename Derived>
+class NorecCoreT : public TxCoreBase {
  public:
-  explicit NorecTx(NorecAlgorithm& shared) : shared_(shared) {
+  explicit NorecCoreT(NorecAlgorithm& shared) : shared_(shared) {
     bind_gate(shared.serial_gate());
   }
 
-  const char* algorithm() const noexcept override { return "norec"; }
-
-  void begin() override {
+  void begin() {
     gate_enter();  // quiesce while a serial-irrevocable transaction runs
     reads_.clear();
     writes_.clear();
     snapshot_ = shared_.lock().sample_even();  // Alg. 6 Start (lines 24-28)
   }
 
-  word_t read(const tword* addr) override {
+  word_t read(const tword* addr) {
     sched::tick(sched::Cost::kRead);
     ++stats.reads;
-    if (WriteEntry* e = writes_.find(addr)) return raw(addr, e);
+    if (WriteEntry* e = writes_.find(addr)) return self().raw(addr, e);
     const word_t v = read_valid(addr);
     track_value(addr, v);  // plain read recorded as semantic EQ
     return v;
   }
 
-  void write(tword* addr, word_t value) override {
+  void write(tword* addr, word_t value) {
     sched::tick(sched::Cost::kWrite);
     ++stats.writes;
     writes_.put_write(addr, value);
   }
 
-  void commit() override {
+  void commit() {
     sched::tick(sched::Cost::kCommit);
     if (writes_.empty()) {  // read-only: already consistent at snapshot_
       finish();
@@ -84,12 +95,14 @@ class NorecTx : public Tx {
     finish();
   }
 
-  void rollback() override { finish(); }
+  void rollback() { finish(); }
 
  protected:
+  Derived& self() noexcept { return static_cast<Derived&>(*this); }
+
   /// Read-after-write. Plain NOrec only ever holds kWrite entries (its inc
-  /// delegates to read+write); S-NOrec overrides to promote increments.
-  virtual word_t raw(const tword* addr, WriteEntry* e) {
+  /// delegates to read+write); S-NOrec shadows this to promote increments.
+  word_t raw(const tword* addr, WriteEntry* e) {
     (void)addr;
     return e->value;
   }
@@ -121,7 +134,11 @@ class NorecTx : public Tx {
   /// plain-read entry is a value-validation abort; a failing cmp/clause
   /// entry means the relation's outcome flipped — the distinction S-NOrec's
   /// evaluation story rests on.
-  std::uint64_t validate() {
+  ///
+  /// Out of line: read_valid() inlines into every read in the monomorphized
+  /// tier, and this slow path (taken only when a writer committed since the
+  /// snapshot) would drag its nested loops into each read site.
+  [[gnu::noinline]] std::uint64_t validate() {
     obs::ScopedLatency lat(stats.lat_validate);
     for (;;) {
       const std::uint64_t time = shared_.lock().sample_even();
@@ -154,8 +171,29 @@ class NorecTx : public Tx {
   std::uint64_t snapshot_ = 0;
 };
 
+/// Plain NOrec, sealed. Semantic ops lower to read/write (generic_*).
+class NorecCore final : public NorecCoreT<NorecCore> {
+ public:
+  using NorecCoreT::NorecCoreT;
+
+  static constexpr AlgoId kId = AlgoId::kNorec;
+  static constexpr const char* kName = "norec";
+  const char* algorithm() const noexcept { return kName; }
+
+  bool cmp(const tword* addr, Rel rel, word_t operand) {
+    return generic_cmp(*this, addr, rel, operand);
+  }
+  bool cmp2(const tword* a, Rel rel, const tword* b) {
+    return generic_cmp2(*this, a, rel, b);
+  }
+  bool cmp_or(const CmpTerm* terms, std::size_t n) {
+    return generic_cmp_or(*this, terms, n);
+  }
+  void inc(tword* addr, word_t delta) { generic_inc(*this, addr, delta); }
+};
+
 inline std::unique_ptr<Tx> NorecAlgorithm::make_tx() {
-  return std::make_unique<NorecTx>(*this);
+  return std::make_unique<TxFacade<NorecCore>>(*this);
 }
 
 }  // namespace semstm

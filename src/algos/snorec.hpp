@@ -12,6 +12,10 @@
 //
 // S-NOrec keeps NOrec's single commit-time serialization point, hence its
 // privatization/publication safety (paper §4.1).
+//
+// SnorecCore is a sealed sibling of NorecCore over the shared NorecCoreT
+// logic: it shadows the raw() promotion hook and supplies native semantic
+// ops — all statically bound, no virtual dispatch anywhere in the core.
 #pragma once
 
 #include "algos/norec.hpp"
@@ -25,14 +29,16 @@ class SnorecAlgorithm final : public NorecAlgorithm {
   std::unique_ptr<Tx> make_tx() override;
 };
 
-class SnorecTx final : public NorecTx {
+class SnorecCore final : public NorecCoreT<SnorecCore> {
  public:
-  explicit SnorecTx(SnorecAlgorithm& shared) : NorecTx(shared) {}
+  explicit SnorecCore(NorecAlgorithm& shared) : NorecCoreT(shared) {}
 
-  const char* algorithm() const noexcept override { return "snorec"; }
+  static constexpr AlgoId kId = AlgoId::kSnorec;
+  static constexpr const char* kName = "snorec";
+  const char* algorithm() const noexcept { return kName; }
 
   /// Alg. 6 Compare (lines 29-36).
-  bool cmp(const tword* addr, Rel rel, word_t operand) override {
+  bool cmp(const tword* addr, Rel rel, word_t operand) {
     sched::tick(sched::Cost::kCmp);
     ++stats.compares;
     trace_semantic_op(obs::SemanticOp::kCmp, addr);
@@ -49,7 +55,7 @@ class SnorecTx final : public NorecTx {
   /// Address–address compare (the paper's _ITM_S2R case; §3/§6). Both
   /// words are read through ReadValid, so they belong to one consistent
   /// snapshot; the recorded entry then revalidates the *relation*.
-  bool cmp2(const tword* a, Rel rel, const tword* b) override {
+  bool cmp2(const tword* a, Rel rel, const tword* b) {
     sched::tick(sched::Cost::kCmp);
     ++stats.compares2;
     trace_semantic_op(obs::SemanticOp::kCmp2, a);
@@ -73,7 +79,7 @@ class SnorecTx final : public NorecTx {
   /// Composed conditional (paper §3): all term operands are loaded at one
   /// consistent snapshot, the OR is evaluated, and a single clause entry
   /// joins the read-set — validated as a unit thereafter.
-  bool cmp_or(const CmpTerm* terms, std::size_t n) override {
+  bool cmp_or(const CmpTerm* terms, std::size_t n) {
     for (std::size_t i = 0; i < n; ++i) {
       if (writes_.find(terms[i].addr) != nullptr ||
           (terms[i].rhs_addr != nullptr &&
@@ -81,7 +87,7 @@ class SnorecTx final : public NorecTx {
         // Buffered operands are private: degrade to plain evaluation (the
         // involved plain reads record value entries and tick kRead as
         // usual — charging kCmp on top would double-bill this path).
-        return Tx::cmp_or(terms, n);
+        return generic_cmp_or(*this, terms, n);
       }
     }
     sched::tick(sched::Cost::kCmp);  // semantic path only
@@ -102,17 +108,17 @@ class SnorecTx final : public NorecTx {
   }
 
   /// Alg. 6 Increment (lines 44-49): defer the delta to commit time.
-  void inc(tword* addr, word_t delta) override {
+  void inc(tword* addr, word_t delta) {
     sched::tick(sched::Cost::kInc);
     ++stats.increments;
     trace_semantic_op(obs::SemanticOp::kInc, addr);
     writes_.put_inc(addr, delta);
   }
 
- protected:
   /// Alg. 6 RAW (lines 17-23): reading an address with a pending increment
-  /// promotes the increment to a conventional read + write.
-  word_t raw(const tword* addr, WriteEntry* e) override {
+  /// promotes the increment to a conventional read + write. Shadows the
+  /// base hook; NorecCoreT::read reaches it through self().
+  word_t raw(const tword* addr, WriteEntry* e) {
     if (e->kind == WriteKind::kIncrement) {
       ++stats.promotions;
       trace_semantic_op(obs::SemanticOp::kPromote, addr);
@@ -126,7 +132,7 @@ class SnorecTx final : public NorecTx {
 };
 
 inline std::unique_ptr<Tx> SnorecAlgorithm::make_tx() {
-  return std::make_unique<SnorecTx>(*this);
+  return std::make_unique<TxFacade<SnorecCore>>(*this);
 }
 
 }  // namespace semstm

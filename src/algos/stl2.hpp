@@ -18,6 +18,10 @@
 //   Commit: write orecs locked, then the global timestamp is advanced with
 //   CAS (not fetch-add) after compare-set validation — the CAS failure
 //   loop re-validates, which is the serialization-point argument of §5.2.
+//
+// Stl2Core is a sealed sibling of Tl2Core over the shared Tl2CoreT logic:
+// it shadows begin/commit/rollback and the raw() promotion hook and adds
+// the compare-set machinery — all statically bound.
 #pragma once
 
 #include <cstdint>
@@ -36,24 +40,26 @@ class Stl2Algorithm final : public Tl2Algorithm {
   std::unique_ptr<Tx> make_tx() override;
 };
 
-class Stl2Tx final : public Tl2Tx {
+class Stl2Core final : public Tl2CoreT<Stl2Core> {
  public:
-  explicit Stl2Tx(Stl2Algorithm& shared) : Tl2Tx(shared) {}
+  explicit Stl2Core(Tl2Algorithm& shared) : Tl2CoreT(shared) {}
 
-  const char* algorithm() const noexcept override { return "stl2"; }
+  static constexpr AlgoId kId = AlgoId::kStl2;
+  static constexpr const char* kName = "stl2";
+  const char* algorithm() const noexcept { return kName; }
 
-  void begin() override {
+  void begin() {
     compares_.clear();
-    Tl2Tx::begin();
+    Tl2CoreT::begin();
   }
 
-  void rollback() override {
+  void rollback() {
     compares_.clear();
-    Tl2Tx::rollback();
+    Tl2CoreT::rollback();
   }
 
   /// Alg. 7 Compare (lines 4-36).
-  bool cmp(const tword* addr, Rel rel, word_t operand) override {
+  bool cmp(const tword* addr, Rel rel, word_t operand) {
     sched::tick(sched::Cost::kCmp);
     ++stats.compares;
     trace_semantic_op(obs::SemanticOp::kCmp, addr);
@@ -70,7 +76,7 @@ class Stl2Tx final : public Tl2Tx {
 
   /// Address–address compare (paper §3 extension). Both loads go through
   /// the phase-aware consistent read; the entry revalidates the relation.
-  bool cmp2(const tword* a, Rel rel, const tword* b) override {
+  bool cmp2(const tword* a, Rel rel, const tword* b) {
     sched::tick(sched::Cost::kCmp);
     ++stats.compares2;
     trace_semantic_op(obs::SemanticOp::kCmp2, a);
@@ -94,14 +100,14 @@ class Stl2Tx final : public Tl2Tx {
   /// Composed conditional (paper §3): every term operand is loaded through
   /// the phase-aware consistent read, the clause joins the compare-set as
   /// one entry, and phase 1 extends the snapshot if any load ran ahead.
-  bool cmp_or(const CmpTerm* terms, std::size_t n) override {
+  bool cmp_or(const CmpTerm* terms, std::size_t n) {
     for (std::size_t i = 0; i < n; ++i) {
       if (writes_.find(terms[i].addr) != nullptr ||
           (terms[i].rhs_addr != nullptr &&
            writes_.find(terms[i].rhs_addr) != nullptr)) {
         // Buffered operands: plain evaluation, whose reads tick kRead —
         // do not also charge kCmp for a semantic op that never happens.
-        return Tx::cmp_or(terms, n);
+        return generic_cmp_or(*this, terms, n);
       }
     }
     sched::tick(sched::Cost::kCmp);  // semantic path only
@@ -129,7 +135,7 @@ class Stl2Tx final : public Tl2Tx {
   }
 
   /// Deferred increment — identical write-set treatment to S-NOrec.
-  void inc(tword* addr, word_t delta) override {
+  void inc(tword* addr, word_t delta) {
     sched::tick(sched::Cost::kInc);
     ++stats.increments;
     trace_semantic_op(obs::SemanticOp::kInc, addr);
@@ -137,7 +143,7 @@ class Stl2Tx final : public Tl2Tx {
   }
 
   /// Alg. 7 Commit (lines 66-77).
-  void commit() override {
+  void commit() {
     sched::tick(sched::Cost::kCommit);
     if (writes_.empty()) {
       compares_.clear();
@@ -170,10 +176,10 @@ class Stl2Tx final : public Tl2Tx {
     finish();
   }
 
- protected:
   /// RAW promotion: a buffered increment read back becomes a conventional
   /// read + write (read part via the consistent orec-checked read).
-  word_t raw(const tword* addr, WriteEntry* e) override {
+  /// Shadows the base hook; Tl2CoreT::read reaches it through self().
+  word_t raw(const tword* addr, WriteEntry* e) {
     if (e->kind == WriteKind::kIncrement) {
       ++stats.promotions;
       trace_semantic_op(obs::SemanticOp::kPromote, addr);
@@ -297,7 +303,7 @@ class Stl2Tx final : public Tl2Tx {
 };
 
 inline std::unique_ptr<Tx> Stl2Algorithm::make_tx() {
-  return std::make_unique<Stl2Tx>(*this);
+  return std::make_unique<TxFacade<Stl2Core>>(*this);
 }
 
 }  // namespace semstm

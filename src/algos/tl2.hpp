@@ -2,7 +2,13 @@
 // table of ownership records, global version clock, commit-time locking.
 //
 // This is the paper's version-based baseline. As in the paper, semantic
-// operations delegate to plain reads/writes (Tx defaults).
+// operations delegate to plain reads/writes (generic_* delegations).
+//
+// Two-tier layout (DESIGN.md §4.12): Tl2CoreT holds the CRTP descriptor
+// logic shared with S-TL2 — non-virtual, statically dispatched; the
+// read-after-write hook raw() is shadowed, not overridden. Tl2Core is the
+// sealed plain-TL2 instantiation; the type-erased tier is
+// TxFacade<Tl2Core>.
 #pragma once
 
 #include <algorithm>
@@ -38,15 +44,17 @@ class Tl2Algorithm : public Algorithm {
   OrecTable orecs_;
 };
 
-class Tl2Tx : public Tx {
+/// TL2 descriptor logic, statically dispatched. `Derived` supplies the
+/// read-after-write hook raw(addr, entry) — plain TL2 returns the buffered
+/// value, S-TL2 promotes pending increments.
+template <typename Derived>
+class Tl2CoreT : public TxCoreBase {
  public:
-  explicit Tl2Tx(Tl2Algorithm& shared) : shared_(shared) {
+  explicit Tl2CoreT(Tl2Algorithm& shared) : shared_(shared) {
     bind_gate(shared.serial_gate());
   }
 
-  const char* algorithm() const noexcept override { return "tl2"; }
-
-  void begin() override {
+  void begin() {
     gate_enter();  // quiesce while a serial-irrevocable transaction runs
     reads_.clear();
     writes_.clear();
@@ -54,20 +62,20 @@ class Tl2Tx : public Tx {
     start_version_ = shared_.clock().load();
   }
 
-  word_t read(const tword* addr) override {
+  word_t read(const tword* addr) {
     sched::tick(sched::Cost::kRead);
     ++stats.reads;
-    if (WriteEntry* e = writes_.find(addr)) return raw(addr, e);
+    if (WriteEntry* e = writes_.find(addr)) return self().raw(addr, e);
     return read_shared(addr);
   }
 
-  void write(tword* addr, word_t value) override {
+  void write(tword* addr, word_t value) {
     sched::tick(sched::Cost::kWrite);
     ++stats.writes;
     writes_.put_write(addr, value);
   }
 
-  void commit() override {
+  void commit() {
     sched::tick(sched::Cost::kCommit);
     if (writes_.empty()) {  // read-only transactions commit for free
       finish();
@@ -87,14 +95,16 @@ class Tl2Tx : public Tx {
     finish();
   }
 
-  void rollback() override {
+  void rollback() {
     release_locks();
     finish();
   }
 
  protected:
-  /// Read-after-write hook (S-TL2 overrides to promote increments).
-  virtual word_t raw(const tword* addr, WriteEntry* e) {
+  Derived& self() noexcept { return static_cast<Derived&>(*this); }
+
+  /// Read-after-write hook (S-TL2 shadows to promote increments).
+  word_t raw(const tword* addr, WriteEntry* e) {
     (void)addr;
     return e->value;
   }
@@ -233,8 +243,29 @@ class Tl2Tx : public Tx {
   const void* conflict_ = nullptr;
 };
 
+/// Plain TL2, sealed. Semantic ops lower to read/write (generic_*).
+class Tl2Core final : public Tl2CoreT<Tl2Core> {
+ public:
+  using Tl2CoreT::Tl2CoreT;
+
+  static constexpr AlgoId kId = AlgoId::kTl2;
+  static constexpr const char* kName = "tl2";
+  const char* algorithm() const noexcept { return kName; }
+
+  bool cmp(const tword* addr, Rel rel, word_t operand) {
+    return generic_cmp(*this, addr, rel, operand);
+  }
+  bool cmp2(const tword* a, Rel rel, const tword* b) {
+    return generic_cmp2(*this, a, rel, b);
+  }
+  bool cmp_or(const CmpTerm* terms, std::size_t n) {
+    return generic_cmp_or(*this, terms, n);
+  }
+  void inc(tword* addr, word_t delta) { generic_inc(*this, addr, delta); }
+};
+
 inline std::unique_ptr<Tx> Tl2Algorithm::make_tx() {
-  return std::make_unique<Tl2Tx>(*this);
+  return std::make_unique<TxFacade<Tl2Core>>(*this);
 }
 
 }  // namespace semstm

@@ -30,7 +30,8 @@ class TLruCache {
         data_(lines * buckets_per_line, 0) {}
 
   /// Lookup `key`; on a hit bumps its frequency and returns the data.
-  std::optional<Value> lookup(Tx& tx, Key key) {
+  template <typename TxT>
+  std::optional<Value> lookup(TxT& tx, Key key) {
     const std::size_t base = line_of(key) * buckets_;
     for (std::size_t j = 0; j < buckets_; ++j) {
       if (tag_is(tx, base + j, key)) {
@@ -43,7 +44,8 @@ class TLruCache {
 
   /// Insert or update `key`, evicting the line's least-frequently-used
   /// bucket on a miss.
-  void set(Tx& tx, Key key, Value value) {
+  template <typename TxT>
+  void set(TxT& tx, Key key, Value value) {
     const std::size_t base = line_of(key) * buckets_;
     for (std::size_t j = 0; j < buckets_; ++j) {
       if (tag_is(tx, base + j, key)) {
@@ -86,11 +88,13 @@ class TLruCache {
     return static_cast<std::size_t>(h >> 32) % lines_;
   }
 
-  bool tag_is(Tx& tx, std::size_t i, Key key) {
+  template <typename TxT>
+  bool tag_is(TxT& tx, std::size_t i, Key key) {
     return semantic_ ? tags_[i].eq(tx, key) : tags_[i].get(tx) == key;
   }
 
-  void bump(Tx& tx, std::size_t i) {
+  template <typename TxT>
+  void bump(TxT& tx, std::size_t i) {
     if (semantic_) {
       freqs_[i].add(tx, 1);  // TM_INC
     } else {

@@ -46,11 +46,13 @@ class TOpenHashTable {
   std::size_t capacity() const noexcept { return mask_ + 1; }
 
   /// Returns true if `key` is present (Algorithm 2's probe).
-  bool contains(Tx& tx, Key key) { return find_slot(tx, key).has_value(); }
+  template <typename TxT>
+  bool contains(TxT& tx, Key key) { return find_slot(tx, key).has_value(); }
 
   /// Insert `key`; returns false if it was already present or the table is
   /// full.
-  bool insert(Tx& tx, Key key) {
+  template <typename TxT>
+  bool insert(TxT& tx, Key key) {
     std::size_t index = hash(key);
     std::optional<std::size_t> first_reusable;
     for (std::size_t step = 0; step <= mask_; ++step) {
@@ -76,7 +78,8 @@ class TOpenHashTable {
   }
 
   /// Remove `key`; returns false if absent. Uses tombstones (kRemoved).
-  bool remove(Tx& tx, Key key) {
+  template <typename TxT>
+  bool remove(TxT& tx, Key key) {
     const auto slot = find_slot(tx, key);
     if (!slot) return false;
     states_[*slot].set(tx, kRemoved);
@@ -105,10 +108,12 @@ class TOpenHashTable {
 
   bool semantic() const noexcept { return mode_ != ProbeMode::kBase; }
 
-  bool state_is(Tx& tx, std::size_t i, State s) {
+  template <typename TxT>
+  bool state_is(TxT& tx, std::size_t i, State s) {
     return semantic() ? states_[i].eq(tx, s) : states_[i].get(tx) == s;
   }
-  bool key_is(Tx& tx, std::size_t i, Key key) {
+  template <typename TxT>
+  bool key_is(TxT& tx, std::size_t i, Key key) {
     return semantic() ? keys_[i].eq(tx, key) : keys_[i].get(tx) == key;
   }
 
@@ -119,7 +124,8 @@ class TOpenHashTable {
   /// (Tx::cmp_or) — this is what lets a prober survive the cell being
   /// removed, or recycled for a different key, in between: the clause
   /// outcome is preserved even though both stored values changed.
-  std::optional<std::size_t> find_slot(Tx& tx, Key key) {
+  template <typename TxT>
+  std::optional<std::size_t> find_slot(TxT& tx, Key key) {
     std::size_t index = hash(key);
     for (std::size_t step = 0; step <= mask_; ++step) {
       // while (state != FREE && (state == REMOVED || key != value)) probe.

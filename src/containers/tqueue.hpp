@@ -21,7 +21,8 @@ class TQueue {
       : capacity_(capacity), semantic_(use_semantics), items_(capacity, 0) {}
 
   /// Enqueue; returns false when full.
-  bool enqueue(Tx& tx, Value v) {
+  template <typename TxT>
+  bool enqueue(TxT& tx, Value v) {
     // tail is written below, so the plain read is write-after-read — safe
     // under every algorithm (§4.1).
     const std::int64_t t = tail_.get(tx);
@@ -40,7 +41,8 @@ class TQueue {
   }
 
   /// Dequeue (Algorithm 3); returns nullopt when empty.
-  std::optional<Value> dequeue(Tx& tx) {
+  template <typename TxT>
+  std::optional<Value> dequeue(TxT& tx) {
     if (semantic_) {
       if (head_.eq(tx, tail_)) return std::nullopt;  // TM_EQ(head, tail)
       const std::int64_t h = head_.get(tx);  // promoted below by TM_INC path
@@ -55,7 +57,8 @@ class TQueue {
     return item;
   }
 
-  bool empty(Tx& tx) {
+  template <typename TxT>
+  bool empty(TxT& tx) {
     return semantic_ ? head_.eq(tx, tail_) : head_.get(tx) == tail_.get(tx);
   }
 

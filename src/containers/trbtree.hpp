@@ -37,7 +37,8 @@ class TRbMap {
 
   /// Insert (or revive a lazily-deleted key). Returns false if the key was
   /// already present.
-  bool insert(Tx& tx, Key key, Value value) {
+  template <typename TxT>
+  bool insert(TxT& tx, Key key, Value value) {
     Node* parent = nullptr;
     Node* cur = root_.get(tx);
     bool went_left = false;
@@ -67,16 +68,19 @@ class TRbMap {
     return true;
   }
 
-  std::optional<Value> find(Tx& tx, Key key) {
+  template <typename TxT>
+  std::optional<Value> find(TxT& tx, Key key) {
     Node* n = descend(tx, key);
     if (n == nullptr || !n->present.get(tx)) return std::nullopt;
     return n->value.get(tx);
   }
 
-  bool contains(Tx& tx, Key key) { return find(tx, key).has_value(); }
+  template <typename TxT>
+  bool contains(TxT& tx, Key key) { return find(tx, key).has_value(); }
 
   /// Overwrite the value of an existing key; returns false if absent.
-  bool update(Tx& tx, Key key, Value value) {
+  template <typename TxT>
+  bool update(TxT& tx, Key key, Value value) {
     Node* n = descend(tx, key);
     if (n == nullptr || !n->present.get(tx)) return false;
     n->value.set(tx, value);
@@ -84,7 +88,8 @@ class TRbMap {
   }
 
   /// Lazy removal; returns false if absent.
-  bool erase(Tx& tx, Key key) {
+  template <typename TxT>
+  bool erase(TxT& tx, Key key) {
     Node* n = descend(tx, key);
     if (n == nullptr || !n->present.get(tx)) return false;
     n->present.set(tx, 0);
@@ -93,7 +98,8 @@ class TRbMap {
 
   /// Node handle access for workloads that pin a record and then operate
   /// on its fields (Vacation reads/updates reservation attributes).
-  TVar<Value>* find_slot(Tx& tx, Key key) {
+  template <typename TxT>
+  TVar<Value>* find_slot(TxT& tx, Key key) {
     Node* n = descend(tx, key);
     if (n == nullptr || !n->present.get(tx)) return nullptr;
     return &n->value;
@@ -147,7 +153,8 @@ class TRbMap {
     return n;
   }
 
-  Node* descend(Tx& tx, Key key) {
+  template <typename TxT>
+  Node* descend(TxT& tx, Key key) {
     Node* cur = root_.get(tx);
     if (semantic_) {
       while (cur != nullptr) {
@@ -165,7 +172,8 @@ class TRbMap {
     return nullptr;
   }
 
-  void rotate_left(Tx& tx, Node* x) {
+  template <typename TxT>
+  void rotate_left(TxT& tx, Node* x) {
     Node* y = x->right.get(tx);
     Node* yl = y->left.get(tx);
     x->right.set(tx, yl);
@@ -183,7 +191,8 @@ class TRbMap {
     x->parent.set(tx, y);
   }
 
-  void rotate_right(Tx& tx, Node* x) {
+  template <typename TxT>
+  void rotate_right(TxT& tx, Node* x) {
     Node* y = x->left.get(tx);
     Node* yr = y->right.get(tx);
     x->left.set(tx, yr);
@@ -201,7 +210,8 @@ class TRbMap {
     x->parent.set(tx, y);
   }
 
-  void insert_fixup(Tx& tx, Node* z) {
+  template <typename TxT>
+  void insert_fixup(TxT& tx, Node* z) {
     while (true) {
       Node* p = z->parent.get(tx);
       if (p == nullptr || p->color.get(tx) == kBlack) break;

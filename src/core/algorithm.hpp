@@ -5,6 +5,7 @@
 // instantiates it once and calls make_tx() per worker thread.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -16,8 +17,24 @@
 namespace semstm {
 
 struct AlgoOptions {
-  unsigned orec_log2 = 16;  ///< orec table size for TL2-family algorithms
+  /// Orec table size (log2) for TL2-family algorithms. make_algorithm
+  /// validates the range [kOrecLog2Min, kOrecLog2Max]: 0 would degenerate
+  /// to a single global lock-word, and anything past 28 silently allocates
+  /// multi-gigabyte tables (or overflows the shift on exotic targets).
+  unsigned orec_log2 = 16;
+
+  static constexpr unsigned kOrecLog2Min = 1;
+  static constexpr unsigned kOrecLog2Max = 28;
 };
+
+/// The closed set of registered algorithms, in canonical benchmark order.
+/// This is the key the static-dispatch tier switches over: AlgoId → one
+/// concrete descriptor core type (see core/dispatch.hpp).
+enum class AlgoId : std::uint8_t { kCgl, kNorec, kSnorec, kTl2, kStl2 };
+
+/// Resolve an algorithm name ("cgl", "norec", "snorec", "tl2", "stl2") to
+/// its AlgoId. Throws std::invalid_argument for unknown names.
+AlgoId algo_id(std::string_view name);
 
 class Algorithm {
  public:

@@ -19,6 +19,7 @@
 // descriptor's trace ring (src/obs).
 #pragma once
 
+#include <cstring>
 #include <type_traits>
 #include <utility>
 
@@ -32,8 +33,12 @@ namespace semstm {
 namespace detail {
 
 /// Retry-loop bookkeeping shared by the void and value-returning paths.
+/// Templated on the descriptor type: with TxT = Tx every tx.* call below is
+/// virtual (the type-erased tier); with a concrete core (NorecCore, ...)
+/// they all bind statically and inline (DESIGN.md §4.12).
+template <typename TxT>
 struct AttemptLoop {
-  Tx& tx;
+  TxT& tx;
   ContentionManager& cm;
   std::uint64_t consecutive = 0;
   bool irrevocable = false;
@@ -71,7 +76,11 @@ struct AttemptLoop {
     cm.on_finish();
   }
 
-  void on_abort() {
+  // The abort and exception unwinders stay out of line (cold): they are
+  // reached only through the catch handlers, and inlining them — twice per
+  // atomically() instantiation in the monomorphized tier — costs hot-loop
+  // code footprint while saving nothing on a path that just unwound.
+  [[gnu::cold, gnu::noinline]] void on_abort() {
     tx.rollback();
     ++tx.stats.aborts;
     ++tx.stats.retries;
@@ -99,14 +108,14 @@ struct AttemptLoop {
       if (escalate && tx.serial_gate() != nullptr) {
         ++tx.stats.fallbacks;
         trace(obs::EventKind::kFallback, obs::now_ticks(), 0);
-        tx.serial_gate()->acquire(&tx);
+        tx.serial_gate()->acquire(tx.tx_id());
         if constexpr (obs::kTraceEnabled) gate_acquired = obs::now_ticks();
         irrevocable = true;
       }
     }
   }
 
-  void on_exception() noexcept {
+  [[gnu::cold, gnu::noinline]] void on_exception() noexcept {
     tx.rollback();
     ++tx.stats.exceptions;
     release_token();
@@ -127,15 +136,34 @@ struct AttemptLoop {
   }
 };
 
+/// Recover the bound descriptor at the requested static type. TxT = Tx
+/// yields the type-erased facade; a concrete core type downcasts the cached
+/// core pointer — valid only when the bound algorithm actually produced
+/// that core, which debug builds verify against the cached algorithm name.
+template <typename TxT>
+TxT& bound_tx(ThreadCtx& ctx) {
+  if constexpr (std::is_same_v<TxT, Tx>) {
+    return *ctx.tx;
+  } else {
+    assert(ctx.core != nullptr && ctx.algo != nullptr &&
+           std::strcmp(ctx.algo, TxT::kName) == 0 &&
+           "atomically<TxT>: bound descriptor is not of type TxT");
+    return *static_cast<TxT*>(ctx.core);
+  }
+}
+
 }  // namespace detail
 
-template <typename F>
+/// TM_BEGIN/TM_END. The default instantiation (atomically(body) with a
+/// body taking Tx&) drives the descriptor through its virtual interface;
+/// atomically<Core>(body) binds every per-access call statically — the
+/// monomorphic fast path reached via dispatch_algorithm().
+template <typename TxT = Tx, typename F>
 decltype(auto) atomically(F&& body) {
   ThreadCtx* ctx = tls_ctx();
-  assert(ctx != nullptr && ctx->tx != nullptr &&
-         "atomically() requires a bound ThreadCtx (see CtxBinder)");
-  detail::AttemptLoop loop{*ctx->tx, *ctx->cm};
-  Tx& tx = loop.tx;
+  if (ctx == nullptr || ctx->tx == nullptr) die_no_ctx("atomically()");
+  detail::AttemptLoop<TxT> loop{detail::bound_tx<TxT>(*ctx), *ctx->cm};
+  TxT& tx = loop.tx;
 
   for (;;) {
     ++tx.stats.starts;
@@ -143,7 +171,7 @@ decltype(auto) atomically(F&& body) {
     try {
       sched::tick(sched::Cost::kBegin);
       tx.begin();
-      if constexpr (std::is_void_v<std::invoke_result_t<F&, Tx&>>) {
+      if constexpr (std::is_void_v<std::invoke_result_t<F&, TxT&>>) {
         body(tx);
         tx.commit();
         loop.on_commit();

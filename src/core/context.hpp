@@ -10,6 +10,8 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <utility>
 
@@ -35,6 +37,13 @@ inline std::uint64_t default_ctx_seed() noexcept {
 struct ThreadCtx {
   std::unique_ptr<Tx> tx;
   std::unique_ptr<ContentionManager> cm;
+  /// Concrete descriptor core behind `tx` (Tx::core_ptr()), cached so the
+  /// monomorphic path (atomically<TxT>) can recover the statically-typed
+  /// descriptor without a virtual call per transaction.
+  void* core = nullptr;
+  /// Algorithm name of the bound descriptor; lets debug builds verify that
+  /// a static downcast of `core` matches the algorithm actually bound.
+  const char* algo = nullptr;
 
   /// Default construction: randomized-exponential-backoff policy with a
   /// unique per-context seed (see default_ctx_seed()).
@@ -47,7 +56,12 @@ struct ThreadCtx {
   ThreadCtx(std::unique_ptr<Tx> t, std::uint64_t seed,
             std::unique_ptr<ContentionManager> manager = nullptr)
       : tx(std::move(t)),
-        cm(manager ? std::move(manager) : std::make_unique<BackoffCm>(seed)) {}
+        cm(manager ? std::move(manager) : std::make_unique<BackoffCm>(seed)) {
+    if (tx) {
+      core = tx->core_ptr();
+      algo = tx->algorithm();
+    }
+  }
 };
 
 /// The current thread's (or fiber's) context slot.
@@ -68,9 +82,21 @@ class CtxBinder {
   ThreadCtx* prev_;
 };
 
+/// Diagnose-and-die for a missing context binding. Calling into the TM
+/// runtime with no bound ThreadCtx is a programming error that previously
+/// surfaced as a null dereference in release builds (the assert compiled
+/// away); fail loudly in every build instead.
+[[noreturn]] inline void die_no_ctx(const char* who) noexcept {
+  std::fprintf(stderr,
+               "semstm: %s called with no transaction context bound on this "
+               "thread (bind a ThreadCtx via CtxBinder first)\n",
+               who);
+  std::abort();
+}
+
 inline Tx& current_tx() noexcept {
   ThreadCtx* c = tls_ctx();
-  assert(c != nullptr && c->tx != nullptr && "no transaction context bound");
+  if (c == nullptr || c->tx == nullptr) die_no_ctx("current_tx()");
   return *c->tx;
 }
 

@@ -1,23 +1,44 @@
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 
-#include "algos/cgl.hpp"
-#include "algos/norec.hpp"
-#include "algos/snorec.hpp"
-#include "algos/stl2.hpp"
-#include "algos/tl2.hpp"
 #include "core/algorithm.hpp"
+#include "core/dispatch.hpp"
 
 namespace semstm {
 
+AlgoId algo_id(std::string_view name) {
+  if (name == "cgl") return AlgoId::kCgl;
+  if (name == "norec") return AlgoId::kNorec;
+  if (name == "snorec") return AlgoId::kSnorec;
+  if (name == "tl2") return AlgoId::kTl2;
+  if (name == "stl2") return AlgoId::kStl2;
+  throw std::invalid_argument("unknown TM algorithm: " + std::string(name));
+}
+
 std::unique_ptr<Algorithm> make_algorithm(std::string_view name,
                                           const AlgoOptions& opts) {
-  if (name == "cgl") return std::make_unique<CglAlgorithm>();
-  if (name == "norec") return std::make_unique<NorecAlgorithm>();
-  if (name == "snorec") return std::make_unique<SnorecAlgorithm>();
-  if (name == "tl2") return std::make_unique<Tl2Algorithm>(opts);
-  if (name == "stl2") return std::make_unique<Stl2Algorithm>(opts);
-  throw std::invalid_argument("unknown TM algorithm: " + std::string(name));
+  // Plumbing check: OrecTable shifts 1 << orec_log2 without further
+  // validation, so a typo'd value would either degenerate the table or
+  // silently allocate gigabytes. Reject out-of-range values loudly here,
+  // for every algorithm — the option travels in AlgoOptions regardless of
+  // which algorithm consumes it.
+  if (opts.orec_log2 < AlgoOptions::kOrecLog2Min ||
+      opts.orec_log2 > AlgoOptions::kOrecLog2Max) {
+    throw std::invalid_argument(
+        "AlgoOptions.orec_log2 = " + std::to_string(opts.orec_log2) +
+        " is out of range [" + std::to_string(AlgoOptions::kOrecLog2Min) +
+        ", " + std::to_string(AlgoOptions::kOrecLog2Max) + "]");
+  }
+  return dispatch_algorithm(
+      algo_id(name), [&](auto tag) -> std::unique_ptr<Algorithm> {
+        using AlgoT = typename decltype(tag)::algorithm_type;
+        if constexpr (std::is_constructible_v<AlgoT, const AlgoOptions&>) {
+          return std::make_unique<AlgoT>(opts);
+        } else {
+          return std::make_unique<AlgoT>();
+        }
+      });
 }
 
 const std::vector<std::string>& algorithm_names() {

@@ -6,6 +6,12 @@
 //
 // Ordered comparisons pick the signed or unsigned relation from T.
 // `unsafe_*` accessors bypass the TM for single-threaded setup/verification.
+//
+// Every accessor is a member template over the descriptor type: passed a
+// Tx& it dispatches virtually (type-erased tier), passed a concrete core
+// (NorecCore&, ...) the tx.read/tx.cmp/... calls bind statically and
+// inline into the caller (DESIGN.md §4.12). Call sites are unchanged —
+// the descriptor argument deduces TxT.
 #pragma once
 
 #include <type_traits>
@@ -29,29 +35,45 @@ class TVar {
 
   // -- Classical constructs -----------------------------------------------
 
-  T get(Tx& tx) const { return from_word<T>(tx.read(&word_)); }
-  void set(Tx& tx, T v) { tx.write(&word_, to_word(v)); }
+  template <typename TxT>
+  T get(TxT& tx) const {
+    return from_word<T>(tx.read(&word_));
+  }
+  template <typename TxT>
+  void set(TxT& tx, T v) {
+    tx.write(&word_, to_word(v));
+  }
 
   // -- Semantic constructs: address–value ----------------------------------
 
-  bool eq(Tx& tx, T v) const { return tx.cmp(&word_, Rel::EQ, to_word(v)); }
-  bool neq(Tx& tx, T v) const { return tx.cmp(&word_, Rel::NEQ, to_word(v)); }
-  bool lt(Tx& tx, T v) const
+  template <typename TxT>
+  bool eq(TxT& tx, T v) const {
+    return tx.cmp(&word_, Rel::EQ, to_word(v));
+  }
+  template <typename TxT>
+  bool neq(TxT& tx, T v) const {
+    return tx.cmp(&word_, Rel::NEQ, to_word(v));
+  }
+  template <typename TxT>
+  bool lt(TxT& tx, T v) const
     requires std::is_integral_v<T>
   {
     return tx.cmp(&word_, rel_lt<T>(), to_word(v));
   }
-  bool lte(Tx& tx, T v) const
+  template <typename TxT>
+  bool lte(TxT& tx, T v) const
     requires std::is_integral_v<T>
   {
     return tx.cmp(&word_, rel_le<T>(), to_word(v));
   }
-  bool gt(Tx& tx, T v) const
+  template <typename TxT>
+  bool gt(TxT& tx, T v) const
     requires std::is_integral_v<T>
   {
     return tx.cmp(&word_, rel_gt<T>(), to_word(v));
   }
-  bool gte(Tx& tx, T v) const
+  template <typename TxT>
+  bool gte(TxT& tx, T v) const
     requires std::is_integral_v<T>
   {
     return tx.cmp(&word_, rel_ge<T>(), to_word(v));
@@ -59,28 +81,34 @@ class TVar {
 
   // -- Semantic constructs: address–address --------------------------------
 
-  bool eq(Tx& tx, const TVar& o) const {
+  template <typename TxT>
+  bool eq(TxT& tx, const TVar& o) const {
     return tx.cmp2(&word_, Rel::EQ, &o.word_);
   }
-  bool neq(Tx& tx, const TVar& o) const {
+  template <typename TxT>
+  bool neq(TxT& tx, const TVar& o) const {
     return tx.cmp2(&word_, Rel::NEQ, &o.word_);
   }
-  bool lt(Tx& tx, const TVar& o) const
+  template <typename TxT>
+  bool lt(TxT& tx, const TVar& o) const
     requires std::is_integral_v<T>
   {
     return tx.cmp2(&word_, rel_lt<T>(), &o.word_);
   }
-  bool lte(Tx& tx, const TVar& o) const
+  template <typename TxT>
+  bool lte(TxT& tx, const TVar& o) const
     requires std::is_integral_v<T>
   {
     return tx.cmp2(&word_, rel_le<T>(), &o.word_);
   }
-  bool gt(Tx& tx, const TVar& o) const
+  template <typename TxT>
+  bool gt(TxT& tx, const TVar& o) const
     requires std::is_integral_v<T>
   {
     return tx.cmp2(&word_, rel_gt<T>(), &o.word_);
   }
-  bool gte(Tx& tx, const TVar& o) const
+  template <typename TxT>
+  bool gte(TxT& tx, const TVar& o) const
     requires std::is_integral_v<T>
   {
     return tx.cmp2(&word_, rel_ge<T>(), &o.word_);
@@ -88,12 +116,14 @@ class TVar {
 
   // -- Semantic constructs: increment/decrement -----------------------------
 
-  void add(Tx& tx, T delta)
+  template <typename TxT>
+  void add(TxT& tx, T delta)
     requires std::is_integral_v<T>
   {
     tx.inc(&word_, to_word(delta));
   }
-  void sub(Tx& tx, T delta)
+  template <typename TxT>
+  void sub(TxT& tx, T delta)
     requires std::is_integral_v<T>
   {
     tx.inc(&word_, to_word(static_cast<T>(0)) - to_word(delta));

@@ -1,4 +1,17 @@
-// The abstract transaction: the paper's extended TM API.
+// The transaction descriptor, split in two tiers (DESIGN.md §4.12):
+//
+//  - TxCoreBase: the non-virtual facility base every concrete descriptor
+//    core derives from — stats, serial-gate protocol, abort attribution,
+//    trace hooks. Cores (src/algos/*.hpp) are `final` classes with NO
+//    virtual functions; the whole begin→access→commit chain is statically
+//    dispatched and inlinable when the caller names the core type.
+//
+//  - Tx: the type-erased compatibility facade. It carries the classical +
+//    semantic API (the paper's extended TM interface, Table 1 / §4) as
+//    virtual methods and forwards everything to a bound core. Tests,
+//    examples and heterogeneous call sites keep programming against Tx&;
+//    hot paths go through dispatch_algorithm() (core/dispatch.hpp) and a
+//    concrete core instead.
 //
 // Classical constructs:    read, write            (TM_READ / TM_WRITE)
 // Semantic constructs:     cmp, cmp2, inc         (Table 1 / §4)
@@ -11,13 +24,15 @@
 //                                   delta is two's-complement, so decrement
 //                                   is inc with a negative delta)
 //
-// Non-semantic algorithms (NOrec, TL2, CGL) inherit the default cmp/inc
-// implementations below, which delegate to read/write. That is exactly the
-// paper's "NOrec Modified-GCC" configuration: the application calls the
-// semantic API but the algorithm handles it non-semantically.
+// Non-semantic algorithms (NOrec, TL2, CGL) use the generic_* delegations
+// below, which lower cmp/inc to read/write. That is exactly the paper's
+// "NOrec Modified-GCC" configuration: the application calls the semantic
+// API but the algorithm handles it non-semantically.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 
 #include "core/semantics.hpp"
 #include "core/stats.hpp"
@@ -31,69 +46,21 @@ namespace semstm {
 
 /// Thrown by an algorithm to roll back the current transaction attempt.
 /// Caught exclusively by atomically(); user code never sees it. Always
-/// thrown through Tx::abort_tx(cause, addr), which records the abort's
-/// attribution first (see obs/abort_cause.hpp).
+/// thrown through TxCoreBase::abort_tx(cause, addr), which records the
+/// abort's attribution first (see obs/abort_cause.hpp).
 struct TxAbort {};
 
-class Tx {
+/// Non-virtual facilities shared by every concrete descriptor core. The
+/// core object's address is the transaction's identity everywhere identity
+/// matters (serial-gate ownership, orec ownership): tx_id() below is what
+/// atomically() hands to SerialGate::acquire, and what gate_enter()'s
+/// held_by() check compares against — one pointer, no facade/core
+/// ambiguity.
+class TxCoreBase {
  public:
-  virtual ~Tx() = default;
-
-  Tx(const Tx&) = delete;
-  Tx& operator=(const Tx&) = delete;
-
-  virtual const char* algorithm() const noexcept = 0;
-
-  // -- Lifecycle (driven by atomically()) ---------------------------------
-
-  /// Start (or restart) a transaction attempt.
-  virtual void begin() = 0;
-
-  /// Attempt to commit; throws TxAbort on validation failure.
-  virtual void commit() = 0;
-
-  /// Roll back local metadata after an abort (read/write sets etc.).
-  virtual void rollback() = 0;
-
-  // -- Classical constructs ------------------------------------------------
-
-  virtual word_t read(const tword* addr) = 0;
-  virtual void write(tword* addr, word_t value) = 0;
-
-  // -- Semantic constructs -------------------------------------------------
-
-  /// Conditional `*addr REL operand`. Default: plain read + local compare.
-  virtual bool cmp(const tword* addr, Rel rel, word_t operand) {
-    return eval(rel, read(addr), operand);
-  }
-
-  /// Conditional `*a REL *b`. Default: two plain reads + local compare.
-  virtual bool cmp2(const tword* a, Rel rel, const tword* b) {
-    const word_t va = read(a);
-    const word_t vb = read(b);
-    return eval(rel, va, vb);
-  }
-
-  /// Disjunctive conditional `term_0 || term_1 || ...` (paper §3: composed
-  /// conditional expressions treated as ONE semantic read operation, e.g.
-  /// `x > 0 || y > 0`, or the hashtable probe's per-cell clause). Semantic
-  /// algorithms validate the clause as a unit — only a change that flips
-  /// the OR's outcome aborts. Default: short-circuit evaluation over plain
-  /// reads, exactly how a non-semantic TM executes the original condition.
-  virtual bool cmp_or(const CmpTerm* terms, std::size_t n) {
-    for (std::size_t i = 0; i < n; ++i) {
-      const word_t lhs = read(terms[i].addr);
-      const word_t rhs =
-          terms[i].rhs_addr ? read(terms[i].rhs_addr) : terms[i].operand;
-      if (eval(terms[i].rel, lhs, rhs)) return true;
-    }
-    return false;
-  }
-
-  /// Deferred `*addr += delta`. Default: read-modify-write.
-  virtual void inc(tword* addr, word_t delta) {
-    write(addr, read(addr) + delta);
-  }
+  TxCoreBase() = default;
+  TxCoreBase(const TxCoreBase&) = delete;
+  TxCoreBase& operator=(const TxCoreBase&) = delete;
 
   TxStats stats;
 
@@ -102,6 +69,10 @@ class Tx {
   /// bare test doubles). atomically() uses it for the bounded-retry
   /// fallback; the algorithms honour it through gate_enter()/gate_exit().
   SerialGate* serial_gate() const noexcept { return gate_; }
+
+  /// The identity this transaction presents to shared metadata (gate,
+  /// orecs). Stable across the descriptor's lifetime.
+  const void* tx_id() const noexcept { return this; }
 
   /// Attribution of the most recent abort_tx() of this descriptor.
   /// atomically() clears it at attempt start and folds it into
@@ -122,7 +93,9 @@ class Tx {
   obs::TraceRing* trace_ring() const noexcept { return trace_; }
 
  protected:
-  Tx() = default;
+  // Destroyed only as a concrete core (by TxFacade or by value); never
+  // deleted through a TxCoreBase*, hence no virtual destructor.
+  ~TxCoreBase() = default;
 
   /// Abort the current attempt, recording *why* and (when known) the
   /// conflicting address or orec. Does not count stats; atomically() does.
@@ -130,8 +103,13 @@ class Tx {
   /// transaction holds (or is draining into) the serial-irrevocable token
   /// is attributed to kSerialGatePreempt — the root cause is the serial
   /// transaction the system is quiescing for, not ordinary contention.
-  [[noreturn]] void abort_tx(obs::AbortCause cause,
-                             const void* addr = nullptr) {
+  ///
+  /// Kept out of line (cold): every per-access fast path carries several
+  /// abort sites, and in the monomorphized tier (DESIGN.md §4.12) they
+  /// would otherwise all inline into the transaction loop, bloating the
+  /// hot code footprint for a path only taken on conflicts.
+  [[noreturn, gnu::cold, gnu::noinline]] void abort_tx(
+      obs::AbortCause cause, const void* addr = nullptr) {
     if (cause != obs::AbortCause::kUserAbort &&
         cause != obs::AbortCause::kClockOverflow && gate_ != nullptr &&
         gate_->held() && !gate_->held_by(this)) {
@@ -158,8 +136,7 @@ class Tx {
     }
   }
 
-  /// Called by concrete descriptors' constructors to share the algorithm's
-  /// gate.
+  /// Called by concrete cores' constructors to share the algorithm's gate.
   void bind_gate(SerialGate& gate) noexcept { gate_ = &gate; }
 
   /// begin() protocol: block while another transaction holds the
@@ -187,6 +164,155 @@ class Tx {
   bool gate_entered_ = false;
   obs::AbortInfo last_abort_;
   obs::TraceRing* trace_ = nullptr;
+};
+
+// -- Generic semantic-op delegations ----------------------------------------
+//
+// The non-semantic handling of the semantic API: cmp/cmp2/cmp_or lower to
+// plain reads + a local compare, inc to read-modify-write. Non-semantic
+// cores (CGL, NOrec, TL2) use these as their cmp/inc implementations, and
+// the semantic cores fall back to them when an operand is buffered in the
+// write-set (private data needs no semantic validation). `TxT` is any
+// descriptor exposing read/write.
+
+template <typename TxT>
+bool generic_cmp(TxT& tx, const tword* addr, Rel rel, word_t operand) {
+  return eval(rel, tx.read(addr), operand);
+}
+
+template <typename TxT>
+bool generic_cmp2(TxT& tx, const tword* a, Rel rel, const tword* b) {
+  const word_t va = tx.read(a);
+  const word_t vb = tx.read(b);
+  return eval(rel, va, vb);
+}
+
+/// Disjunctive conditional `term_0 || term_1 || ...` (paper §3: composed
+/// conditional expressions treated as ONE semantic read operation, e.g.
+/// `x > 0 || y > 0`, or the hashtable probe's per-cell clause). Semantic
+/// algorithms validate the clause as a unit — only a change that flips
+/// the OR's outcome aborts. This delegation is short-circuit evaluation
+/// over plain reads, exactly how a non-semantic TM executes the original
+/// condition.
+template <typename TxT>
+bool generic_cmp_or(TxT& tx, const CmpTerm* terms, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const word_t lhs = tx.read(terms[i].addr);
+    const word_t rhs =
+        terms[i].rhs_addr ? tx.read(terms[i].rhs_addr) : terms[i].operand;
+    if (eval(terms[i].rel, lhs, rhs)) return true;
+  }
+  return false;
+}
+
+template <typename TxT>
+void generic_inc(TxT& tx, tword* addr, word_t delta) {
+  tx.write(addr, tx.read(addr) + delta);
+}
+
+// -- The type-erased facade --------------------------------------------------
+
+/// The abstract transaction, kept as the compatibility face of the
+/// two-tier dispatch design: registry code, tests and examples program
+/// against Tx&, while hot paths use the concrete core directly. Every
+/// non-virtual facility (stats, gate, abort attribution, tracing) forwards
+/// to the bound core so a descriptor driven through either tier observes
+/// one shared state.
+class Tx {
+ public:
+  virtual ~Tx() = default;
+
+  Tx(const Tx&) = delete;
+  Tx& operator=(const Tx&) = delete;
+
+  virtual const char* algorithm() const noexcept = 0;
+
+  // -- Lifecycle (driven by atomically()) ---------------------------------
+
+  /// Start (or restart) a transaction attempt.
+  virtual void begin() = 0;
+
+  /// Attempt to commit; throws TxAbort on validation failure.
+  virtual void commit() = 0;
+
+  /// Roll back local metadata after an abort (read/write sets etc.).
+  virtual void rollback() = 0;
+
+  // -- Classical constructs ------------------------------------------------
+
+  virtual word_t read(const tword* addr) = 0;
+  virtual void write(tword* addr, word_t value) = 0;
+
+  // -- Semantic constructs (see the generic_* delegations for the
+  //    non-semantic lowering the plain algorithms use) ---------------------
+
+  virtual bool cmp(const tword* addr, Rel rel, word_t operand) = 0;
+  virtual bool cmp2(const tword* a, Rel rel, const tword* b) = 0;
+  virtual bool cmp_or(const CmpTerm* terms, std::size_t n) = 0;
+  virtual void inc(tword* addr, word_t delta) = 0;
+
+  /// The concrete core behind this facade, for callers that monomorphize
+  /// (ThreadCtx caches it; atomically<Core>() casts it back). Typed access
+  /// goes through dispatch_algorithm() — the AlgoId names the core type.
+  virtual void* core_ptr() noexcept = 0;
+
+  /// Bound to the core's stats: both dispatch tiers count into one block.
+  TxStats& stats;
+
+  // Non-virtual forwards to the shared core facilities (same contracts as
+  // the TxCoreBase originals).
+  SerialGate* serial_gate() const noexcept { return core_.serial_gate(); }
+  const void* tx_id() const noexcept { return core_.tx_id(); }
+  const obs::AbortInfo& last_abort() const noexcept {
+    return core_.last_abort();
+  }
+  void clear_last_abort() noexcept { core_.clear_last_abort(); }
+  [[noreturn]] void user_abort() { core_.user_abort(); }
+  void bind_trace(obs::TraceRing* ring) noexcept { core_.bind_trace(ring); }
+  obs::TraceRing* trace_ring() const noexcept { return core_.trace_ring(); }
+  TxCoreBase& core_base() noexcept { return core_; }
+
+ protected:
+  explicit Tx(TxCoreBase& core) : stats(core.stats), core_(core) {}
+
+ private:
+  TxCoreBase& core_;
+};
+
+/// The thin forwarding shim gluing a monomorphic core to the type-erased
+/// Tx interface — one instantiation per algorithm, created by
+/// Algorithm::make_tx(). Owns the core by value; the base-class reference
+/// binds to the member before its construction, which is fine (the
+/// reference is only bound, never used, until the core exists).
+template <typename Core>
+class TxFacade final : public Tx {
+ public:
+  template <typename... Args>
+  explicit TxFacade(Args&&... args)
+      : Tx(core_), core_(std::forward<Args>(args)...) {}
+
+  Core& core() noexcept { return core_; }
+
+  const char* algorithm() const noexcept override { return core_.algorithm(); }
+  void* core_ptr() noexcept override { return &core_; }
+  void begin() override { core_.begin(); }
+  void commit() override { core_.commit(); }
+  void rollback() override { core_.rollback(); }
+  word_t read(const tword* addr) override { return core_.read(addr); }
+  void write(tword* addr, word_t value) override { core_.write(addr, value); }
+  bool cmp(const tword* addr, Rel rel, word_t operand) override {
+    return core_.cmp(addr, rel, operand);
+  }
+  bool cmp2(const tword* a, Rel rel, const tword* b) override {
+    return core_.cmp2(a, rel, b);
+  }
+  bool cmp_or(const CmpTerm* terms, std::size_t n) override {
+    return core_.cmp_or(terms, n);
+  }
+  void inc(tword* addr, word_t delta) override { core_.inc(addr, delta); }
+
+ private:
+  Core core_;
 };
 
 }  // namespace semstm

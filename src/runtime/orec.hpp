@@ -23,14 +23,15 @@
 
 namespace semstm {
 
-class Tx;
-
+// Owners are opaque identities (TxCoreBase::tx_id()): the orec never calls
+// through them, it only compares pointers, so the type-erased facade and
+// the monomorphized core present one identity without a common base here.
 struct Orec {
   std::atomic<std::uint64_t> version{0};
-  std::atomic<const Tx*> owner{nullptr};
+  std::atomic<const void*> owner{nullptr};
 
-  bool locked_by_other(const Tx* self) const noexcept {
-    const Tx* o = owner.load(std::memory_order_acquire);
+  bool locked_by_other(const void* self) const noexcept {
+    const void* o = owner.load(std::memory_order_acquire);
     return o != nullptr && o != self;
   }
 
@@ -39,8 +40,8 @@ struct Orec {
   }
 
   /// Commit-time try-lock (null -> tx). Idempotent for the same owner.
-  bool try_lock(const Tx* tx) noexcept {
-    const Tx* expected = nullptr;
+  bool try_lock(const void* tx) noexcept {
+    const void* expected = nullptr;
     if (owner.compare_exchange_strong(expected, tx, std::memory_order_acq_rel,
                                       std::memory_order_acquire)) {
       return true;
@@ -48,8 +49,8 @@ struct Orec {
     return expected == tx;
   }
 
-  void unlock(const Tx* tx) noexcept {
-    const Tx* o = owner.load(std::memory_order_relaxed);
+  void unlock(const void* tx) noexcept {
+    const void* o = owner.load(std::memory_order_relaxed);
     if (o == tx) owner.store(nullptr, std::memory_order_release);
   }
 };

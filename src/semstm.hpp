@@ -19,6 +19,7 @@
 #include "core/algorithm.hpp"   // IWYU pragma: export
 #include "core/atomically.hpp"  // IWYU pragma: export
 #include "core/context.hpp"     // IWYU pragma: export
+#include "core/dispatch.hpp"    // IWYU pragma: export
 #include "core/semantics.hpp"   // IWYU pragma: export
 #include "core/stats.hpp"       // IWYU pragma: export
 #include "core/tvar.hpp"        // IWYU pragma: export

@@ -7,6 +7,11 @@
 // to the classical read/write handlers (exactly libitm's behaviour, and
 // the paper's "NOrec Modified-GCC" configuration), semantic algorithms
 // (S-NOrec) handle them natively.
+//
+// Each entry point is templated on the descriptor type: instantiated with
+// Tx it is the type-erased ABI (one virtual call per barrier, the shape of
+// a real libitm dispatch table); instantiated with a concrete core the
+// barrier inlines into the interpreter loop (DESIGN.md §4.12).
 #pragma once
 
 #include "core/tx.hpp"
@@ -14,22 +19,33 @@
 namespace semstm::tmir::abi {
 
 /// _ITM_RU8: classical transactional read.
-inline word_t itm_read(Tx& tx, const tword* addr) { return tx.read(addr); }
+template <typename TxT>
+word_t itm_read(TxT& tx, const tword* addr) {
+  return tx.read(addr);
+}
 
 /// _ITM_WU8: classical transactional write.
-inline void itm_write(Tx& tx, tword* addr, word_t v) { tx.write(addr, v); }
+template <typename TxT>
+void itm_write(TxT& tx, tword* addr, word_t v) {
+  tx.write(addr, v);
+}
 
 /// _ITM_S1R: address–value semantic read (conditional).
-inline bool itm_s1r(Tx& tx, const tword* addr, Rel rel, word_t operand) {
+template <typename TxT>
+bool itm_s1r(TxT& tx, const tword* addr, Rel rel, word_t operand) {
   return tx.cmp(addr, rel, operand);
 }
 
 /// _ITM_S2R: address–address semantic read (conditional).
-inline bool itm_s2r(Tx& tx, const tword* a, Rel rel, const tword* b) {
+template <typename TxT>
+bool itm_s2r(TxT& tx, const tword* a, Rel rel, const tword* b) {
   return tx.cmp2(a, rel, b);
 }
 
 /// _ITM_SW: semantic write (deferred increment).
-inline void itm_sw(Tx& tx, tword* addr, word_t delta) { tx.inc(addr, delta); }
+template <typename TxT>
+void itm_sw(TxT& tx, tword* addr, word_t delta) {
+  tx.inc(addr, delta);
+}
 
 }  // namespace semstm::tmir::abi

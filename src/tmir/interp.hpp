@@ -8,11 +8,20 @@
 // accessed using its transactional API" (paper §7.2). With the flag set,
 // local-slot accesses also go through TM barriers, which is what makes
 // the GCC curves of Figure 2 sit below the RSTM curves of Figure 1.
+//
+// execute() is templated on the descriptor type (DESIGN.md §4.12): with
+// TxT = Tx every barrier is a virtual call (the pre-built instantiation in
+// interp.cpp — the default for existing callers); with a concrete core
+// the whole interpreter loop monomorphizes and the barriers inline.
 #pragma once
 
 #include <cstddef>
+#include <stdexcept>
+#include <vector>
 
 #include "core/tx.hpp"
+#include "sched/yieldpoint.hpp"
+#include "tmir/abi.hpp"
 #include "tmir/ir.hpp"
 
 namespace semstm::tmir {
@@ -31,7 +40,128 @@ struct InterpOptions {
 
 /// Execute `f` under transaction `tx`. Returns the kRet operand (0 if the
 /// function returns nothing). Throws std::runtime_error on malformed IR.
-word_t execute(Tx& tx, const Function& f, const word_t* args,
-               std::size_t nargs, const InterpOptions& opts = {});
+template <typename TxT = Tx>
+word_t execute(TxT& tx, const Function& f, const word_t* args,
+               std::size_t nargs, const InterpOptions& opts = {}) {
+  if (nargs != f.num_args) {
+    throw std::runtime_error("tmir: argument count mismatch for " + f.name);
+  }
+  std::vector<word_t> temps(f.num_temps, 0);
+  // Plain local slots (library mode) and TM-instrumented shadows (GCC
+  // mode). The shadows are private to this activation, but routing them
+  // through the barriers charges the instrumentation cost GCC pays. They
+  // are caller-owned: the write-set points into them until commit.
+  std::vector<word_t> locals(f.num_locals, 0);
+  tword* local_shadow = opts.local_shadow;
+  if (opts.instrument_locals && f.num_locals > 0) {
+    if (local_shadow == nullptr) {
+      throw std::runtime_error(
+          "tmir: instrument_locals requires a caller-provided local_shadow "
+          "that outlives the transaction");
+    }
+    for (std::uint32_t i = 0; i < f.num_locals; ++i) {
+      local_shadow[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t steps = 0;
+  std::size_t block = 0;
+  for (;;) {
+    if (block >= f.blocks.size()) {
+      throw std::runtime_error("tmir: branch out of range in " + f.name);
+    }
+    const Block& b = f.blocks[block];
+    bool jumped = false;
+    for (const Instr& i : b.code) {
+      if (i.dead) continue;
+      if (++steps > opts.max_steps) {
+        throw std::runtime_error("tmir: step limit exceeded in " + f.name);
+      }
+      sched::tick(sched::Cost::kWork);  // interpretation overhead
+      auto t = [&](std::int32_t id) -> word_t& {
+        return temps[static_cast<std::size_t>(id)];
+      };
+      switch (i.op) {
+        case Op::kConst:
+          t(i.dst) = i.imm;
+          break;
+        case Op::kArg:
+          t(i.dst) = args[i.imm];
+          break;
+        case Op::kLoadLocal:
+          t(i.dst) = opts.instrument_locals
+                         ? abi::itm_read(tx, &local_shadow[i.imm])
+                         : locals[i.imm];
+          break;
+        case Op::kStoreLocal:
+          if (opts.instrument_locals) {
+            abi::itm_write(tx, &local_shadow[i.imm], t(i.a));
+          } else {
+            locals[i.imm] = t(i.a);
+          }
+          break;
+        case Op::kAdd:
+          t(i.dst) = t(i.a) + t(i.b);
+          break;
+        case Op::kSub:
+          t(i.dst) = t(i.a) - t(i.b);
+          break;
+        case Op::kMul:
+          t(i.dst) = t(i.a) * t(i.b);
+          break;
+        case Op::kAnd:
+          t(i.dst) = t(i.a) & t(i.b);
+          break;
+        case Op::kCmp:
+          t(i.dst) = eval(i.rel, t(i.a), t(i.b)) ? 1 : 0;
+          break;
+        case Op::kTmLoad:
+          t(i.dst) = abi::itm_read(tx, reinterpret_cast<const tword*>(t(i.a)));
+          break;
+        case Op::kTmStore:
+          abi::itm_write(tx, reinterpret_cast<tword*>(t(i.a)), t(i.b));
+          break;
+        case Op::kTmCmp1:
+          t(i.dst) = abi::itm_s1r(tx, reinterpret_cast<const tword*>(t(i.a)),
+                                  i.rel, t(i.b))
+                         ? 1
+                         : 0;
+          break;
+        case Op::kTmCmp2:
+          t(i.dst) = abi::itm_s2r(tx, reinterpret_cast<const tword*>(t(i.a)),
+                                  i.rel,
+                                  reinterpret_cast<const tword*>(t(i.b)))
+                         ? 1
+                         : 0;
+          break;
+        case Op::kTmInc: {
+          const word_t delta = i.imm == 1 ? word_t{0} - t(i.b) : t(i.b);
+          abi::itm_sw(tx, reinterpret_cast<tword*>(t(i.a)), delta);
+          break;
+        }
+        case Op::kBr:
+          block = static_cast<std::size_t>(i.imm);
+          jumped = true;
+          break;
+        case Op::kCbr:
+          block = t(i.a) != 0 ? static_cast<std::size_t>(i.imm)
+                              : static_cast<std::size_t>(i.b);
+          jumped = true;
+          break;
+        case Op::kRet:
+          return i.a >= 0 ? t(i.a) : 0;
+      }
+      if (jumped) break;
+    }
+    if (!jumped) {
+      throw std::runtime_error("tmir: block fell through in " + f.name);
+    }
+  }
+}
+
+/// The type-erased instantiation is pre-built in interp.cpp so existing
+/// Tx-typed callers don't each re-instantiate the interpreter loop.
+extern template word_t execute<Tx>(Tx&, const Function&, const word_t*,
+                                   std::size_t, const InterpOptions&);
 
 }  // namespace semstm::tmir

@@ -11,11 +11,11 @@
 
 #include "containers/tarray.hpp"
 #include "core/atomically.hpp"
-#include "workloads/driver.hpp"
+#include "workloads/mono.hpp"
 
 namespace semstm {
 
-class BankWorkload final : public Workload {
+class BankWorkload final : public MonoWorkload<BankWorkload> {
  public:
   struct Params {
     std::size_t accounts = 1024;
@@ -27,7 +27,9 @@ class BankWorkload final : public Workload {
   BankWorkload(Params p, bool semantic)
       : p_(p), semantic_(semantic), accounts_(p.accounts, p.initial_balance) {}
 
-  void op(unsigned, Rng& rng) override {
+  template <typename TxT>
+
+  void op_t(unsigned, Rng& rng) {
     // Pre-draw the transfer plan outside the transaction so retries replay
     // the same logical operation.
     struct Transfer {
@@ -42,7 +44,7 @@ class BankWorkload final : public Workload {
       plan[i].dst = static_cast<std::size_t>(rng.below(p_.accounts));
       plan[i].amount = rng.between(1, p_.max_amount);
     }
-    atomically([&](Tx& tx) {
+    atomically<TxT>([&](TxT& tx) {
       for (unsigned i = 0; i < n; ++i) {
         const auto& t = plan[i];
         if (t.src == t.dst) continue;

@@ -47,14 +47,19 @@ RunResult run_workload(const RunConfig& cfg, Workload& workload) {
     std::exit(2);
   }
 
+  const AlgoId aid = algo_id(cfg.algo);
   auto body = [&](unsigned tid) {
     CtxBinder bind(*ctxs[tid]);
     Rng& rng = rngs[tid];
     const std::uint64_t ops = cfg.ops_by_thread.empty()
                                   ? cfg.ops_per_thread
                                   : cfg.ops_by_thread[tid];
-    for (std::uint64_t i = 0; i < ops; ++i) {
-      workload.op(tid, rng);
+    if (cfg.dispatch == Dispatch::kStatic) {
+      workload.run_ops(aid, tid, rng, ops);
+    } else {
+      for (std::uint64_t i = 0; i < ops; ++i) {
+        workload.op(tid, rng);
+      }
     }
   };
 

@@ -17,11 +17,11 @@
 
 #include "containers/tarray.hpp"
 #include "core/atomically.hpp"
-#include "workloads/driver.hpp"
+#include "workloads/mono.hpp"
 
 namespace semstm {
 
-class GenomeWorkload final : public Workload {
+class GenomeWorkload final : public MonoWorkload<GenomeWorkload> {
  public:
   struct Params {
     std::size_t buckets = 64;          // few buckets -> long chains (reads)
@@ -35,12 +35,14 @@ class GenomeWorkload final : public Workload {
         heads_(p.buckets, nullptr),
         pool_(std::make_unique<Node[]>(p.pool_capacity)) {}
 
-  void op(unsigned, Rng& rng) override {
+  template <typename TxT>
+
+  void op_t(unsigned, Rng& rng) {
     std::int64_t segs[8];
     for (unsigned i = 0; i < p_.segments_per_tx; ++i) {
       segs[i] = static_cast<std::int64_t>(rng.below(p_.segment_space));
     }
-    atomically([&](Tx& tx) {
+    atomically<TxT>([&](TxT& tx) {
       for (unsigned i = 0; i < p_.segments_per_tx; ++i) {
         insert_unique(tx, segs[i]);
       }
@@ -79,7 +81,8 @@ class GenomeWorkload final : public Workload {
     TVar<Node*> next{nullptr};
   };
 
-  void insert_unique(Tx& tx, std::int64_t key) {
+  template <typename TxT>
+  void insert_unique(TxT& tx, std::int64_t key) {
     const std::size_t b =
         static_cast<std::size_t>(static_cast<std::uint64_t>(key) *
                                  0x9E3779B97F4A7C15ULL >> 32) %

@@ -7,11 +7,11 @@
 
 #include "containers/topen_hashtable.hpp"
 #include "core/atomically.hpp"
-#include "workloads/driver.hpp"
+#include "workloads/mono.hpp"
 
 namespace semstm {
 
-class HashtableWorkload final : public Workload {
+class HashtableWorkload final : public MonoWorkload<HashtableWorkload> {
  public:
   // Defaults target the paper's regime: a heavily loaded table where
   // probes traverse long chains of cells (Table 3 counts thousands of
@@ -51,7 +51,9 @@ class HashtableWorkload final : public Workload {
     }
   }
 
-  void op(unsigned, Rng& rng) override {
+  template <typename TxT>
+
+  void op_t(unsigned, Rng& rng) {
     struct Op {
       std::int64_t key;
       unsigned kind;  // 0 insert, 1 remove, 2 lookup
@@ -64,7 +66,7 @@ class HashtableWorkload final : public Workload {
                      : roll < p_.insert_pct + p_.remove_pct ? 1u
                                                             : 2u;
     }
-    atomically([&](Tx& tx) {
+    atomically<TxT>([&](TxT& tx) {
       for (unsigned i = 0; i < p_.ops_per_tx; ++i) {
         switch (plan[i].kind) {
           case 0: (void)table_.insert(tx, plan[i].key); break;

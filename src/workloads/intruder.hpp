@@ -14,11 +14,11 @@
 #include "containers/tarray.hpp"
 #include "containers/tqueue.hpp"
 #include "core/atomically.hpp"
-#include "workloads/driver.hpp"
+#include "workloads/mono.hpp"
 
 namespace semstm {
 
-class IntruderWorkload final : public Workload {
+class IntruderWorkload final : public MonoWorkload<IntruderWorkload> {
  public:
   struct Params {
     std::size_t flows = 256;
@@ -52,8 +52,10 @@ class IntruderWorkload final : public Workload {
     }
   }
 
-  void op(unsigned, Rng&) override {
-    atomically([&](Tx& tx) {
+  template <typename TxT>
+
+  void op_t(unsigned, Rng&) {
+    atomically<TxT>([&](TxT& tx) {
       const auto pkt = packets_.dequeue(tx);
       if (!pkt) return;  // stream drained
       const auto flow = static_cast<std::size_t>(*pkt);

@@ -14,11 +14,11 @@
 
 #include "containers/tarray.hpp"
 #include "core/atomically.hpp"
-#include "workloads/driver.hpp"
+#include "workloads/mono.hpp"
 
 namespace semstm {
 
-class KmeansWorkload final : public Workload {
+class KmeansWorkload final : public MonoWorkload<KmeansWorkload> {
  public:
   struct Params {
     std::size_t points = 2048;
@@ -40,7 +40,9 @@ class KmeansWorkload final : public Workload {
     next_point_.store(0, std::memory_order_relaxed);
   }
 
-  void op(unsigned, Rng&) override {
+  template <typename TxT>
+
+  void op_t(unsigned, Rng&) {
     const std::size_t i =
         next_point_.fetch_add(1, std::memory_order_acq_rel) % p_.points;
 
@@ -62,7 +64,7 @@ class KmeansWorkload final : public Workload {
     }
 
     // Transactional center update (Algorithm 5).
-    atomically([&](Tx& tx) {
+    atomically<TxT>([&](TxT& tx) {
       if (semantic_) {
         new_centers_len_[index].add(tx, 1);  // TM_INC(len, 1)
         for (std::size_t j = 0; j < p_.features; ++j) {

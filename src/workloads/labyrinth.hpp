@@ -19,11 +19,11 @@
 
 #include "containers/tarray.hpp"
 #include "core/atomically.hpp"
-#include "workloads/driver.hpp"
+#include "workloads/mono.hpp"
 
 namespace semstm {
 
-class LabyrinthWorkload final : public Workload {
+class LabyrinthWorkload final : public MonoWorkload<LabyrinthWorkload> {
  public:
   enum class Variant { kCopyInsideTx, kCopyOutsideTx };
 
@@ -39,7 +39,9 @@ class LabyrinthWorkload final : public Workload {
         cells_(p.x * p.y * p.z),
         grid_(p.x * p.y * p.z, kEmpty) {}
 
-  void op(unsigned, Rng& rng) override {
+  template <typename TxT>
+
+  void op_t(unsigned, Rng& rng) {
     const std::size_t src = random_cell(rng);
     const std::size_t dst = random_cell(rng);
     if (src == dst) return;
@@ -56,13 +58,13 @@ class LabyrinthWorkload final : public Workload {
         // Optimized variant: snapshot + expansion outside the transaction.
         std::vector<std::size_t> path = expand(snapshot(), src, dst);
         if (path.empty()) return;  // permanently blocked
-        claimed = atomically([&](Tx& tx) -> std::size_t {
+        claimed = atomically<TxT>([&](TxT& tx) -> std::size_t {
           return claim_path(tx, path, path_id) ? path.size() : 0;
         });
       } else {
         // Original variant: everything inside; an abort redoes the copy
         // and the expansion.
-        claimed = atomically([&](Tx& tx) -> std::size_t {
+        claimed = atomically<TxT>([&](TxT& tx) -> std::size_t {
           std::vector<std::size_t> path = expand(snapshot(), src, dst);
           if (path.empty()) return 0;
           return claim_path(tx, path, path_id) ? path.size() : 0;
@@ -179,7 +181,8 @@ class LabyrinthWorkload final : public Workload {
 
   /// Transactional validation + claim. The emptiness checks are the
   /// paper's semantic candidates (isEmpty -> TM_EQ).
-  bool claim_path(Tx& tx, const std::vector<std::size_t>& path,
+  template <typename TxT>
+  bool claim_path(TxT& tx, const std::vector<std::size_t>& path,
                   std::int64_t path_id) {
     for (const std::size_t c : path) {
       const bool empty =

@@ -7,11 +7,11 @@
 
 #include "containers/tlru.hpp"
 #include "core/atomically.hpp"
-#include "workloads/driver.hpp"
+#include "workloads/mono.hpp"
 
 namespace semstm {
 
-class LruWorkload final : public Workload {
+class LruWorkload final : public MonoWorkload<LruWorkload> {
  public:
   struct Params {
     std::size_t lines = 64;
@@ -24,13 +24,15 @@ class LruWorkload final : public Workload {
   LruWorkload(Params p, bool semantic)
       : p_(p), cache_(p.lines, p.buckets, semantic) {}
 
-  void op(unsigned, Rng& rng) override {
+  template <typename TxT>
+
+  void op_t(unsigned, Rng& rng) {
     std::int64_t keys[16];
     for (unsigned i = 0; i < p_.entries_per_tx; ++i) {
       keys[i] = static_cast<std::int64_t>(rng.below(p_.key_space));
     }
     const bool is_set = rng.percent(p_.set_pct);
-    atomically([&](Tx& tx) {
+    atomically<TxT>([&](TxT& tx) {
       for (unsigned i = 0; i < p_.entries_per_tx; ++i) {
         if (is_set) {
           cache_.set(tx, keys[i], keys[i] * 2);

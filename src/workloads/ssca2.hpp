@@ -10,11 +10,11 @@
 
 #include "containers/tarray.hpp"
 #include "core/atomically.hpp"
-#include "workloads/driver.hpp"
+#include "workloads/mono.hpp"
 
 namespace semstm {
 
-class Ssca2Workload final : public Workload {
+class Ssca2Workload final : public MonoWorkload<Ssca2Workload> {
  public:
   struct Params {
     std::size_t nodes = 512;
@@ -28,10 +28,12 @@ class Ssca2Workload final : public Workload {
         degree_(p.nodes, 0),
         adjacency_(p.nodes * p.max_degree, -1) {}
 
-  void op(unsigned, Rng& rng) override {
+  template <typename TxT>
+
+  void op_t(unsigned, Rng& rng) {
     const auto u = static_cast<std::size_t>(rng.below(p_.nodes));
     const auto v = static_cast<std::int64_t>(rng.below(p_.nodes));
-    const bool placed = atomically([&](Tx& tx) -> bool {
+    const bool placed = atomically<TxT>([&](TxT& tx) -> bool {
       const std::int64_t j = cursor_[u].get(tx);  // insertion point
       if (j >= static_cast<std::int64_t>(p_.max_degree)) return false;
       adjacency_[u * p_.max_degree + static_cast<std::size_t>(j)].set(tx, v);

@@ -19,11 +19,11 @@
 
 #include "containers/trbtree.hpp"
 #include "core/atomically.hpp"
-#include "workloads/driver.hpp"
+#include "workloads/mono.hpp"
 
 namespace semstm {
 
-class VacationWorkload final : public Workload {
+class VacationWorkload final : public MonoWorkload<VacationWorkload> {
  public:
   struct Params {
     std::size_t relations = 256;   // records per resource table
@@ -68,14 +68,16 @@ class VacationWorkload final : public Workload {
     }
   }
 
-  void op(unsigned, Rng& rng) override {
+  template <typename TxT>
+
+  void op_t(unsigned, Rng& rng) {
     const auto roll = static_cast<unsigned>(rng.below(100));
     if (roll < p_.reserve_pct) {
-      make_reservation(rng);
+      make_reservation<TxT>(rng);
     } else if (roll < p_.reserve_pct + p_.update_pct) {
-      update_tables(rng);
+      update_tables<TxT>(rng);
     } else {
-      delete_customer(rng);
+      delete_customer<TxT>(rng);
     }
   }
 
@@ -108,6 +110,7 @@ class VacationWorkload final : public Workload {
   }
 
   /// Paper Algorithm 4.
+  template <typename TxT>
   void make_reservation(Rng& rng) {
     const unsigned t = static_cast<unsigned>(rng.below(3));
     std::int64_t ids[8];
@@ -117,7 +120,7 @@ class VacationWorkload final : public Workload {
     const auto customer = static_cast<std::int64_t>(rng.below(p_.customers));
     TRbMap& table = table_of(t);
 
-    const bool booked = atomically([&](Tx& tx) -> bool {
+    const bool booked = atomically<TxT>([&](TxT& tx) -> bool {
       long max_price = -1;
       std::int64_t max_id = -1;
       for (unsigned q = 0; q < p_.queries_per_tx; ++q) {
@@ -170,12 +173,13 @@ class VacationWorkload final : public Workload {
   }
 
   /// The "update offers" profile: change prices / add capacity.
+  template <typename TxT>
   void update_tables(Rng& rng) {
     const unsigned t = static_cast<unsigned>(rng.below(3));
     const auto id = static_cast<std::int64_t>(rng.below(p_.relations));
     const long new_price = rng.between(50, 500);
     TRbMap& table = table_of(t);
-    atomically([&](Tx& tx) {
+    atomically<TxT>([&](TxT& tx) {
       const auto res = table.find(tx, id);
       if (!res) return;
       Record& rec = records_[static_cast<std::size_t>(*res)];
@@ -183,9 +187,10 @@ class VacationWorkload final : public Workload {
     });
   }
 
+  template <typename TxT>
   void delete_customer(Rng& rng) {
     const auto customer = static_cast<std::int64_t>(rng.below(p_.customers));
-    atomically([&](Tx& tx) {
+    atomically<TxT>([&](TxT& tx) {
       if (customers_.erase(tx, customer)) {
         customers_.insert(tx, customer, 0);  // re-open the account
       }

@@ -18,11 +18,11 @@
 
 #include "containers/tarray.hpp"
 #include "core/atomically.hpp"
-#include "workloads/driver.hpp"
+#include "workloads/mono.hpp"
 
 namespace semstm {
 
-class YadaWorkload final : public Workload {
+class YadaWorkload final : public MonoWorkload<YadaWorkload> {
  public:
   struct Params {
     std::size_t mesh_w = 48;        // triangles arranged on a W x H grid
@@ -47,10 +47,12 @@ class YadaWorkload final : public Workload {
     }
   }
 
-  void op(unsigned, Rng& rng) override {
+  template <typename TxT>
+
+  void op_t(unsigned, Rng& rng) {
     const std::size_t t = static_cast<std::size_t>(rng.below(count_));
     const std::int64_t improved = rng.between(p_.min_quality, p_.max_quality);
-    const bool refined = atomically([&](Tx& tx) -> bool {
+    const bool refined = atomically<TxT>([&](TxT& tx) -> bool {
       // Is this triangle bad? (the angle-threshold check — cmp candidate)
       const bool bad = semantic_ ? quality_[t].lt(tx, p_.min_quality)
                                  : quality_[t].get(tx) < p_.min_quality;
