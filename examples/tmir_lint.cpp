@@ -1,0 +1,114 @@
+// tmir_lint: run the full static-analysis pipeline over every built-in
+// kernel and report per-pass statistics and diagnostics.
+//
+//   verify -> tm_mark -> tm_lint -> tm_optimize -> verify
+//
+//   $ ./tmir_lint            # all kernels
+//   $ ./tmir_lint probe      # just the named kernel(s)
+//
+// Exit code 0 when every stage is clean, 2 on any diagnostic — CI can
+// gate on it directly.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tmir/analysis/lint.hpp"
+#include "tmir/analysis/verify.hpp"
+#include "tmir/ir.hpp"
+#include "tmir/kernels.hpp"
+#include "tmir/passes.hpp"
+
+namespace {
+
+using namespace semstm::tmir;
+
+struct NamedKernel {
+  const char* name;
+  Function (*build)();
+};
+
+Function build_reserve4() { return build_reserve_kernel(4); }
+Function build_center8() { return build_center_update_kernel(8); }
+
+constexpr NamedKernel kKernels[] = {
+    {"probe", build_probe_kernel},
+    {"insert", build_insert_kernel},
+    {"remove", build_remove_kernel},
+    {"reserve", build_reserve4},
+    {"center_update", build_center8},
+};
+
+std::size_t print_diags(const Function& f, const char* stage,
+                        const std::vector<Diagnostic>& diags) {
+  for (const Diagnostic& d : diags) {
+    std::printf("  %s: DIAGNOSTIC %s\n", stage,
+                format_diagnostic(f, d).c_str());
+  }
+  return diags.size();
+}
+
+std::size_t lint_kernel(const NamedKernel& k) {
+  Function f = k.build();
+  std::size_t issues = 0;
+
+  std::printf("== %s: %zu blocks, %u temps, %u locals, %zu TM loads ==\n",
+              k.name, f.blocks.size(), f.num_temps, f.num_locals,
+              f.count_op(Op::kTmLoad));
+  issues += print_diags(f, "verify(raw)", pass_verify(f));
+
+  const MarkStats ms = pass_tm_mark(f);
+  std::printf("  tm_mark:     s1r=%zu s2r=%zu sw=%zu skipped_clobbered=%zu\n",
+              ms.s1r, ms.s2r, ms.sw, ms.skipped_clobbered);
+  issues += print_diags(f, "verify(marked)", pass_verify(f));
+
+  LintStats ls;
+  issues += print_diags(f, "tm_lint", pass_tm_lint(f, &ls));
+  std::printf("  tm_lint:     re-proved %zu s1r + %zu s2r + %zu sw rewrites\n",
+              ls.checked_s1r, ls.checked_s2r, ls.checked_sw);
+
+  const OptimizeStats os = pass_tm_optimize(f);
+  const OpCount loads = f.count(Op::kTmLoad);
+  std::printf("  tm_optimize: removed_tm_loads=%zu removed_other=%zu\n",
+              os.removed_tm_loads, os.removed_other);
+  std::printf("  TM loads:    %zu live / %zu dead (was %zu)\n", loads.live,
+              loads.dead, loads.total());
+  issues += print_diags(f, "verify(optimized)", pass_verify(f));
+  issues += print_diags(f, "tm_lint(optimized)", pass_tm_lint(f));
+
+  if (os.removed_tm_loads != loads.dead) {
+    std::printf("  DIAGNOSTIC stats drift: removed_tm_loads=%zu but %zu dead "
+                "loads in the IR\n",
+                os.removed_tm_loads, loads.dead);
+    ++issues;
+  }
+  return issues;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t issues = 0;
+  std::size_t matched = 0;
+  for (const NamedKernel& k : kKernels) {
+    bool wanted = argc < 2;
+    for (int i = 1; i < argc; ++i) {
+      wanted = wanted || std::strcmp(argv[i], k.name) == 0;
+    }
+    if (!wanted) continue;
+    ++matched;
+    issues += lint_kernel(k);
+  }
+  if (matched == 0) {
+    std::fprintf(stderr, "tmir_lint: no kernel matches; known:");
+    for (const NamedKernel& k : kKernels) std::fprintf(stderr, " %s", k.name);
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+  if (issues != 0) {
+    std::printf("tmir_lint: %zu diagnostics\n", issues);
+    return 2;
+  }
+  std::printf("tmir_lint: all pipelines clean\n");
+  return 0;
+}

@@ -3,9 +3,10 @@
 # broken build fails in seconds, not after the perf suite.
 #
 #   1. tier-1 ctest        (Debug build: functional + conformance suites)
-#   2. ci_sanitize.sh      (ASan/UBSan + TSan test passes)
-#   3. ci_trace_smoke.sh   (SEMSTM_TRACE build + trace pipeline smoke)
-#   4. ci_perf_smoke.sh    (Release rebuild vs committed perf baselines)
+#   2. ci_lint.sh          (clang-tidy over src/, skipped if not installed)
+#   3. ci_sanitize.sh      (ASan/UBSan + TSan test passes)
+#   4. ci_trace_smoke.sh   (SEMSTM_TRACE build + trace pipeline smoke)
+#   5. ci_perf_smoke.sh    (Release rebuild vs committed perf baselines)
 #
 # Usage: scripts/ci_all.sh
 set -euo pipefail
@@ -13,18 +14,21 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 jobs="$(nproc)"
 
-echo "=== [1/4] build + tier-1 ctest ==="
+echo "=== [1/5] build + tier-1 ctest ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "${jobs}" >/dev/null
 ctest --test-dir build --output-on-failure
 
-echo "=== [2/4] sanitizers ==="
+echo "=== [2/5] static analysis ==="
+scripts/ci_lint.sh
+
+echo "=== [3/5] sanitizers ==="
 scripts/ci_sanitize.sh
 
-echo "=== [3/4] trace smoke ==="
+echo "=== [4/5] trace smoke ==="
 scripts/ci_trace_smoke.sh
 
-echo "=== [4/4] perf smoke ==="
+echo "=== [5/5] perf smoke ==="
 scripts/ci_perf_smoke.sh
 
 echo "ci_all: all stages passed"

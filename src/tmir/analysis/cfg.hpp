@@ -1,0 +1,167 @@
+// Control-flow graph view of a tmir Function: successor/predecessor maps,
+// reachability, reverse postorder, and a dominator tree.
+//
+// Every analysis and checker in tmir/analysis builds on this instead of
+// re-deriving block structure ad hoc. Construction is total: malformed
+// input (blocks without terminators, out-of-range branch targets) yields a
+// CFG with the offending edges dropped rather than undefined behaviour —
+// pass_verify is the component that *reports* such IR, so the CFG it runs
+// on must tolerate it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tmir/ir.hpp"
+
+namespace semstm::tmir {
+
+class Cfg {
+ public:
+  explicit Cfg(const Function& f) : nblocks_(f.blocks.size()) {
+    succs_.resize(nblocks_);
+    preds_.resize(nblocks_);
+    for (std::size_t b = 0; b < nblocks_; ++b) {
+      const Instr* term = live_terminator(f.blocks[b]);
+      if (term == nullptr) continue;
+      if (term->op == Op::kBr) {
+        add_edge(b, static_cast<std::uint64_t>(term->imm));
+      } else if (term->op == Op::kCbr) {
+        add_edge(b, static_cast<std::uint64_t>(term->imm));
+        add_edge(b, static_cast<std::uint64_t>(term->b));
+      }
+      // kRet: no successors.
+    }
+    compute_order();
+    compute_dominators();
+  }
+
+  std::size_t num_blocks() const noexcept { return nblocks_; }
+  const std::vector<std::uint32_t>& succs(std::size_t b) const noexcept {
+    return succs_[b];
+  }
+  const std::vector<std::uint32_t>& preds(std::size_t b) const noexcept {
+    return preds_[b];
+  }
+
+  /// Reachable from the entry block (block 0).
+  bool reachable(std::size_t b) const noexcept { return rpo_index_[b] >= 0; }
+
+  /// Reverse postorder over reachable blocks (entry first). Forward
+  /// analyses converge fastest iterating in this order; backward analyses
+  /// use its reverse.
+  const std::vector<std::uint32_t>& rpo() const noexcept { return rpo_; }
+
+  /// Immediate dominator of b, or -1 for the entry block and for
+  /// unreachable blocks.
+  std::int32_t idom(std::size_t b) const noexcept { return idom_[b]; }
+
+  /// Does block a dominate block b? Unreachable blocks dominate nothing
+  /// and are dominated by nothing (the query is only meaningful on the
+  /// reachable subgraph).
+  bool dominates(std::size_t a, std::size_t b) const noexcept {
+    if (!reachable(a) || !reachable(b)) return false;
+    // Walk b's dominator chain; depth is bounded by the tree height.
+    std::int32_t n = static_cast<std::int32_t>(b);
+    while (n >= 0) {
+      if (static_cast<std::size_t>(n) == a) return true;
+      n = idom_[static_cast<std::size_t>(n)];
+    }
+    return false;
+  }
+
+  /// The last non-dead instruction of a block iff it is a terminator,
+  /// else nullptr. Shared with pass_verify so "what terminates a block"
+  /// has one definition.
+  static const Instr* live_terminator(const Block& blk) noexcept {
+    for (auto it = blk.code.rbegin(); it != blk.code.rend(); ++it) {
+      if (it->dead) continue;
+      return is_terminator(it->op) ? &*it : nullptr;
+    }
+    return nullptr;
+  }
+
+ private:
+  void add_edge(std::size_t from, std::uint64_t to) {
+    if (to >= nblocks_) return;  // malformed target: verify reports it
+    succs_[from].push_back(static_cast<std::uint32_t>(to));
+    preds_[to].push_back(static_cast<std::uint32_t>(from));
+  }
+
+  void compute_order() {
+    rpo_index_.assign(nblocks_, -1);
+    if (nblocks_ == 0) return;
+    // Iterative postorder DFS from the entry, then reverse.
+    std::vector<std::uint8_t> state(nblocks_, 0);  // 0=new 1=open 2=done
+    std::vector<std::pair<std::uint32_t, std::size_t>> stack{{0, 0}};
+    state[0] = 1;
+    std::vector<std::uint32_t> postorder;
+    while (!stack.empty()) {
+      auto& [b, next] = stack.back();
+      if (next < succs_[b].size()) {
+        const std::uint32_t s = succs_[b][next++];
+        if (state[s] == 0) {
+          state[s] = 1;
+          stack.emplace_back(s, 0);
+        }
+      } else {
+        state[b] = 2;
+        postorder.push_back(b);
+        stack.pop_back();
+      }
+    }
+    rpo_.assign(postorder.rbegin(), postorder.rend());
+    for (std::size_t i = 0; i < rpo_.size(); ++i) {
+      rpo_index_[rpo_[i]] = static_cast<std::int32_t>(i);
+    }
+  }
+
+  // Cooper–Harvey–Kennedy: iterate idom intersection over RPO.
+  void compute_dominators() {
+    idom_.assign(nblocks_, -1);
+    if (nblocks_ == 0) return;
+    idom_[0] = 0;  // sentinel: entry is its own idom during iteration
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t i = 1; i < rpo_.size(); ++i) {
+        const std::uint32_t b = rpo_[i];
+        std::int32_t new_idom = -1;
+        for (const std::uint32_t p : preds_[b]) {
+          if (!reachable(p) || idom_[p] < 0) continue;
+          new_idom = new_idom < 0
+                         ? static_cast<std::int32_t>(p)
+                         : intersect(static_cast<std::int32_t>(p), new_idom);
+        }
+        if (new_idom >= 0 && idom_[b] != new_idom) {
+          idom_[b] = new_idom;
+          changed = true;
+        }
+      }
+    }
+    idom_[0] = -1;  // drop the sentinel: the entry has no idom
+  }
+
+  std::int32_t intersect(std::int32_t a, std::int32_t b) const noexcept {
+    while (a != b) {
+      while (rpo_index_[static_cast<std::size_t>(a)] >
+             rpo_index_[static_cast<std::size_t>(b)]) {
+        a = idom_[static_cast<std::size_t>(a)];
+      }
+      while (rpo_index_[static_cast<std::size_t>(b)] >
+             rpo_index_[static_cast<std::size_t>(a)]) {
+        b = idom_[static_cast<std::size_t>(b)];
+      }
+    }
+    return a;
+  }
+
+  std::size_t nblocks_;
+  std::vector<std::vector<std::uint32_t>> succs_;
+  std::vector<std::vector<std::uint32_t>> preds_;
+  std::vector<std::uint32_t> rpo_;
+  std::vector<std::int32_t> rpo_index_;
+  std::vector<std::int32_t> idom_;
+};
+
+}  // namespace semstm::tmir

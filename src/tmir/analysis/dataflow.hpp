@@ -1,0 +1,133 @@
+// A small worklist dataflow framework over tmir CFGs.
+//
+// Analyses are union/gen-kill problems over dense bit vectors (the only
+// kind tmir needs: liveness, reaching definitions). A client supplies the
+// per-block GEN and KILL sets; the solver iterates to a fixpoint with a
+// worklist seeded in the order that converges fastest for the chosen
+// direction (reverse postorder forward, postorder backward).
+//
+// The framework is deliberately block-granular: consumers that need
+// per-instruction precision (tm_optimize's dead-code walk, tm_lint's
+// reaching check) take the block boundary sets and re-walk the block's
+// code linearly, which is both simpler and cheaper than materialising
+// per-instruction sets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tmir/analysis/cfg.hpp"
+
+namespace semstm::tmir {
+
+/// Dense fixed-width bitset (std::vector<bool> without the proxy pain,
+/// with whole-word union/subtract for the transfer functions).
+class BitSet {
+ public:
+  BitSet() = default;
+  explicit BitSet(std::size_t nbits)
+      : nbits_(nbits), words_((nbits + 63) / 64, 0) {}
+
+  void set(std::size_t i) noexcept { words_[i >> 6] |= 1ULL << (i & 63); }
+  void clear(std::size_t i) noexcept { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+  bool test(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+  std::size_t size() const noexcept { return nbits_; }
+
+  /// this |= other. Returns true if any bit changed.
+  bool merge(const BitSet& other) noexcept {
+    bool changed = false;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      const std::uint64_t nv = words_[w] | other.words_[w];
+      changed |= nv != words_[w];
+      words_[w] = nv;
+    }
+    return changed;
+  }
+
+  /// this = (in & ~kill) | gen — the canonical gen/kill transfer.
+  void assign_transfer(const BitSet& in, const BitSet& gen,
+                       const BitSet& kill) noexcept {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      words_[w] = (in.words_[w] & ~kill.words_[w]) | gen.words_[w];
+    }
+  }
+
+  bool operator==(const BitSet& other) const noexcept {
+    return words_ == other.words_;
+  }
+
+  std::size_t count() const noexcept {
+    std::size_t n = 0;
+    for (const std::uint64_t w : words_) {
+      n += static_cast<std::size_t>(__builtin_popcountll(w));
+    }
+    return n;
+  }
+
+ private:
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+enum class Direction { kForward, kBackward };
+
+/// Per-block boundary sets of a solved dataflow problem. For a forward
+/// problem `in[b]` is the meet over predecessors and `out[b]` its
+/// transfer; for a backward problem the roles mirror (`out[b]` is the
+/// meet over successors, `in[b]` the transfer).
+struct DataflowResult {
+  std::vector<BitSet> in;
+  std::vector<BitSet> out;
+};
+
+/// Solve a union-meet gen/kill problem to fixpoint.
+///
+/// `gen[b]` / `kill[b]` must be block-summary sets: for forward problems,
+/// facts generated/killed walking the block top-down; for backward
+/// problems, bottom-up (i.e. upward-exposed uses for liveness).
+inline DataflowResult solve(const Cfg& cfg, Direction dir,
+                            const std::vector<BitSet>& gen,
+                            const std::vector<BitSet>& kill,
+                            std::size_t nbits) {
+  const std::size_t nb = cfg.num_blocks();
+  DataflowResult r;
+  r.in.assign(nb, BitSet(nbits));
+  r.out.assign(nb, BitSet(nbits));
+
+  // Iteration order: RPO for forward, reverse RPO (≈ postorder) for
+  // backward. Unreachable blocks are excluded — they have no facts.
+  std::vector<std::uint32_t> order = cfg.rpo();
+  if (dir == Direction::kBackward) {
+    std::vector<std::uint32_t> rev(order.rbegin(), order.rend());
+    order.swap(rev);
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const std::uint32_t b : order) {
+      if (dir == Direction::kForward) {
+        for (const std::uint32_t p : cfg.preds(b)) r.in[b].merge(r.out[p]);
+        BitSet out(nbits);
+        out.assign_transfer(r.in[b], gen[b], kill[b]);
+        if (!(out == r.out[b])) {
+          r.out[b] = out;
+          changed = true;
+        }
+      } else {
+        for (const std::uint32_t s : cfg.succs(b)) r.out[b].merge(r.in[s]);
+        BitSet in(nbits);
+        in.assign_transfer(r.out[b], gen[b], kill[b]);
+        if (!(in == r.in[b])) {
+          r.in[b] = in;
+          changed = true;
+        }
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace semstm::tmir

@@ -1,0 +1,240 @@
+#include "tmir/analysis/lint.hpp"
+
+#include <string>
+
+#include "tmir/analysis/cfg.hpp"
+#include "tmir/analysis/reaching.hpp"
+
+namespace semstm::tmir {
+
+namespace {
+
+/// Position of a temp's defining instruction, dead or alive. The lint
+/// must keep seeing origin loads after tm_optimize killed them, so this
+/// map is built over every instruction — unlike ReachingDefs, which only
+/// tracks live definitions.
+struct DefAt {
+  std::int32_t block = -1;
+  std::int32_t instr = -1;
+  const Instr* ins = nullptr;
+};
+
+std::vector<DefAt> def_positions(const Function& f) {
+  std::vector<DefAt> defs(f.num_temps);
+  for (std::uint32_t b = 0; b < f.blocks.size(); ++b) {
+    const Block& blk = f.blocks[b];
+    for (std::uint32_t n = 0; n < blk.code.size(); ++n) {
+      const Instr& i = blk.code[n];
+      if (produces_value(i.op) && i.dst >= 0 &&
+          static_cast<std::uint32_t>(i.dst) < f.num_temps) {
+        DefAt& d = defs[static_cast<std::size_t>(i.dst)];
+        if (d.block < 0) {
+          d = {static_cast<std::int32_t>(b), static_cast<std::int32_t>(n),
+               &i};
+        }
+      }
+    }
+  }
+  return defs;
+}
+
+bool pure_operand(const DefAt& d) noexcept {
+  return d.ins != nullptr && (d.ins->op == Op::kConst ||
+                              d.ins->op == Op::kArg ||
+                              d.ins->op == Op::kLoadLocal);
+}
+
+class Linter {
+ public:
+  explicit Linter(const Function& f, LintStats* stats)
+      : f_(f), stats_(stats), cfg_(f), reach_(f, cfg_),
+        defs_(def_positions(f)) {}
+
+  std::vector<Diagnostic> run() {
+    for (std::uint32_t b = 0; b < f_.blocks.size(); ++b) {
+      const Block& blk = f_.blocks[b];
+      for (std::uint32_t n = 0; n < blk.code.size(); ++n) {
+        const Instr& i = blk.code[n];
+        if (i.dead) continue;
+        switch (i.op) {
+          case Op::kTmCmp1:
+            if (stats_ != nullptr) ++stats_->checked_s1r;
+            check_staged(b, n);
+            if (check_origin(b, n, i.src_a, i.a, "origin")) {
+              check_value_operand(b, n, i.b);
+            }
+            break;
+          case Op::kTmCmp2:
+            if (stats_ != nullptr) ++stats_->checked_s2r;
+            check_staged(b, n);
+            check_origin(b, n, i.src_a, i.a, "left origin");
+            check_origin(b, n, i.src_b, i.b, "right origin");
+            break;
+          case Op::kTmInc:
+            if (stats_ != nullptr) ++stats_->checked_sw;
+            check_staged(b, n);
+            check_inc(b, n, i);
+            break;
+          default:
+            break;
+        }
+      }
+    }
+    return std::move(diags_);
+  }
+
+ private:
+  void report(std::uint32_t b, std::uint32_t n, const char* rule,
+              std::string msg) {
+    diags_.push_back({b, n, rule, std::move(msg)});
+  }
+
+  void check_staged(std::uint32_t b, std::uint32_t n) {
+    if (!f_.marked) {
+      report(b, n, "lint-unmarked",
+             "semantic builtin in a function never passed through tm_mark");
+    }
+  }
+
+  const DefAt* def_of(std::int32_t t) const {
+    if (t < 0 || static_cast<std::uint32_t>(t) >= f_.num_temps) {
+      return nullptr;
+    }
+    const DefAt& d = defs_[static_cast<std::size_t>(t)];
+    return d.block >= 0 ? &d : nullptr;
+  }
+
+  /// Re-prove that `origin_temp` is a TM load of address temp `addr`,
+  /// local to block `b` before instruction `n`, still reaching it, with
+  /// no intervening (potentially aliasing) TM write. Returns true when
+  /// the origin itself held up, so callers can continue with operand
+  /// checks without cascading noise.
+  bool check_origin(std::uint32_t b, std::uint32_t n, std::int32_t origin_temp,
+                    std::int32_t addr, const char* which) {
+    if (origin_temp < 0) {
+      report(b, n, "lint-no-provenance",
+             std::string(which) + " of the rewrite was not recorded");
+      return false;
+    }
+    const DefAt* d = def_of(origin_temp);
+    if (d == nullptr) {
+      report(b, n, "lint-no-provenance",
+             std::string(which) + " temp t" + std::to_string(origin_temp) +
+                 " has no definition");
+      return false;
+    }
+    if (d->ins->op != Op::kTmLoad) {
+      report(b, n, "lint-origin-not-load",
+             std::string(which) + " t" + std::to_string(origin_temp) +
+                 " is not defined by a TM load");
+      return false;
+    }
+    if (d->ins->a != addr) {
+      report(b, n, "lint-origin-address",
+             std::string(which) + " loads address t" +
+                 std::to_string(d->ins->a) + " but the builtin claims t" +
+                 std::to_string(addr));
+      return false;
+    }
+    if (d->block != static_cast<std::int32_t>(b) ||
+        static_cast<std::uint32_t>(d->instr) >= n) {
+      report(b, n, "lint-origin-not-local",
+             std::string(which) + " load at " + std::to_string(d->block) +
+                 ":" + std::to_string(d->instr) +
+                 " does not locally precede the builtin");
+      return false;
+    }
+    // Independent availability proof: when the load is still live, its
+    // definition site must reach the builtin per the dataflow framework
+    // (a killed load keeps its position, which the local check covered).
+    if (!d->ins->dead) {
+      bool reaches = false;
+      for (const std::uint32_t s :
+           reach_.defs_of_temp(static_cast<std::size_t>(origin_temp))) {
+        reaches = reaches || reach_.reaches(s, b, n);
+      }
+      if (!reaches) {
+        report(b, n, "lint-origin-unreachable",
+               std::string(which) + " definition does not reach the builtin");
+        return false;
+      }
+    }
+    // No alias analysis: every TM write between the load and the builtin
+    // may target the same address, which would make re-reading at the
+    // builtin observe a different value than the original compare did.
+    const Block& blk = f_.blocks[b];
+    for (std::uint32_t k = static_cast<std::uint32_t>(d->instr) + 1; k < n;
+         ++k) {
+      const Instr& between = blk.code[k];
+      if (between.dead) continue;
+      if (between.op == Op::kTmStore || between.op == Op::kTmInc) {
+        report(b, n, "lint-clobbered-origin",
+               "TM write at " + std::to_string(b) + ":" + std::to_string(k) +
+                   " between the " + which + " load and the builtin may "
+                   "alias its address");
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void check_value_operand(std::uint32_t b, std::uint32_t n,
+                           std::int32_t operand) {
+    const DefAt* d = def_of(operand);
+    if (d == nullptr || !pure_operand(*d)) {
+      report(b, n, "lint-impure-operand",
+             "value operand t" + std::to_string(operand) +
+                 " is not a literal, argument or local load");
+    }
+  }
+
+  void check_inc(std::uint32_t b, std::uint32_t n, const Instr& i) {
+    const DefAt* arith = def_of(i.src_b);
+    if (i.src_b < 0 || arith == nullptr) {
+      report(b, n, "lint-no-provenance",
+             "stored-value provenance of the increment was not recorded");
+      return;
+    }
+    if (arith->ins->op != Op::kAdd && arith->ins->op != Op::kSub) {
+      report(b, n, "lint-inc-shape",
+             "stored value t" + std::to_string(i.src_b) +
+                 " is not an add/sub");
+      return;
+    }
+    // The store address (operand a) must equal the origin load's address.
+    if (!check_origin(b, n, i.src_a, i.a, "increment origin")) return;
+
+    const Instr& ar = *arith->ins;
+    const bool negated = i.imm == 1;
+    bool shape_ok;
+    if (ar.op == Op::kSub) {
+      // load - delta: the load must be the minuend and the flag set.
+      shape_ok = negated && ar.a == i.src_a && ar.b == i.b;
+    } else {
+      shape_ok = !negated && ((ar.a == i.src_a && ar.b == i.b) ||
+                              (ar.b == i.src_a && ar.a == i.b));
+    }
+    if (!shape_ok) {
+      report(b, n, "lint-inc-shape",
+             "increment delta/negation does not match the arithmetic that "
+             "computed the stored value");
+      return;
+    }
+    check_value_operand(b, n, i.b);
+  }
+
+  const Function& f_;
+  LintStats* stats_;
+  Cfg cfg_;
+  ReachingDefs reach_;
+  std::vector<DefAt> defs_;
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace
+
+std::vector<Diagnostic> pass_tm_lint(const Function& f, LintStats* stats) {
+  return Linter(f, stats).run();
+}
+
+}  // namespace semstm::tmir

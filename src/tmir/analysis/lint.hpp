@@ -1,0 +1,49 @@
+// pass_tm_lint: semantic-rewrite legality checker.
+//
+// pass_tm_mark pattern-matches cmp/inc shapes and rewrites them to the
+// paper's semantic builtins. A wrong rewrite does not crash — it silently
+// changes transaction semantics, the worst failure mode a TM compiler can
+// have. This pass is the independent re-proof: starting only from the IR
+// and the provenance links tm_mark recorded (Instr::src_a/src_b), it
+// re-derives via the analysis framework (reaching definitions + dominator
+// tree) that every rewrite was legal:
+//
+//   kTmCmp1  src_a names a live-or-killed kTmLoad of exactly the claimed
+//            address (operand a), that definition reaches the compare,
+//            originates in the same block with no intervening TM write
+//            (any kTmStore/kTmInc may alias — no alias analysis, so all
+//            are barriers), and the value operand (b) is pure
+//            (const/arg/local-load).
+//   kTmCmp2  as kTmCmp1 for both of src_a/src_b against operands a/b.
+//   kTmInc   src_b names the kAdd/kSub that computed the stored value,
+//            consuming src_a (a kTmLoad whose address temp equals the
+//            store address, operand a) and the pure delta (operand b);
+//            the negate flag (imm) must match the kSub orientation; same
+//            block, no intervening TM write between load and store.
+//
+// Rule ids: lint-unmarked, lint-no-provenance, lint-origin-not-load,
+// lint-origin-address, lint-origin-unreachable, lint-origin-not-local,
+// lint-clobbered-origin, lint-impure-operand, lint-inc-shape.
+//
+// Run it after tm_mark (before or after tm_optimize — killed origin loads
+// are still consulted through their dead husks). Empty result == every
+// semantic builtin in the function is a proven-legal rewrite.
+#pragma once
+
+#include <vector>
+
+#include "tmir/analysis/verify.hpp"  // Diagnostic
+#include "tmir/ir.hpp"
+
+namespace semstm::tmir {
+
+struct LintStats {
+  std::size_t checked_s1r = 0;
+  std::size_t checked_s2r = 0;
+  std::size_t checked_sw = 0;
+};
+
+std::vector<Diagnostic> pass_tm_lint(const Function& f,
+                                     LintStats* stats = nullptr);
+
+}  // namespace semstm::tmir

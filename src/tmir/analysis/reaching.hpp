@@ -1,0 +1,155 @@
+// Forward reaching definitions over temps and local slots.
+//
+// Each live instruction that defines something (a value producer's dst, a
+// kStoreLocal's slot) is a *definition site* with a dense id. The solver
+// computes which sites reach each block entry; a linear re-walk then
+// answers "which definitions reach this instruction". For temps the
+// answer is single-element by SSA construction — which is precisely what
+// pass_tm_lint exploits: if the recorded origin of a semantic rewrite is
+// not THE reaching definition of that temp, the rewrite's claim is false.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tmir/analysis/cfg.hpp"
+#include "tmir/analysis/dataflow.hpp"
+
+namespace semstm::tmir {
+
+struct DefSite {
+  std::uint32_t block = 0;
+  std::uint32_t instr = 0;   ///< index into blocks[block].code
+  std::int32_t temp = -1;    ///< defined temp, or -1
+  std::int32_t local = -1;   ///< defined local slot, or -1
+};
+
+class ReachingDefs {
+ public:
+  explicit ReachingDefs(const Function& f, const Cfg& cfg) : f_(&f) {
+    // Enumerate definition sites and group them by what they define.
+    temp_sites_.assign(f.num_temps, {});
+    local_sites_.assign(f.num_locals, {});
+    for (std::uint32_t b = 0; b < f.blocks.size(); ++b) {
+      const Block& blk = f.blocks[b];
+      for (std::uint32_t n = 0; n < blk.code.size(); ++n) {
+        const Instr& i = blk.code[n];
+        if (i.dead) continue;
+        DefSite site{b, n, -1, -1};
+        if (produces_value(i.op) && i.dst >= 0 &&
+            static_cast<std::uint32_t>(i.dst) < f.num_temps) {
+          site.temp = i.dst;
+          temp_sites_[static_cast<std::size_t>(i.dst)].push_back(
+              static_cast<std::uint32_t>(sites_.size()));
+        } else if (i.op == Op::kStoreLocal &&
+                   i.imm < static_cast<word_t>(f.num_locals)) {
+          site.local = static_cast<std::int32_t>(i.imm);
+          local_sites_[static_cast<std::size_t>(i.imm)].push_back(
+              static_cast<std::uint32_t>(sites_.size()));
+        } else {
+          continue;
+        }
+        sites_.push_back(site);
+      }
+    }
+
+    const std::size_t nsites = sites_.size();
+    const std::size_t nb = f.blocks.size();
+    std::vector<BitSet> gen(nb, BitSet(nsites));
+    std::vector<BitSet> kill(nb, BitSet(nsites));
+    for (std::size_t s = 0; s < nsites; ++s) {
+      const DefSite& site = sites_[s];
+      // Downward-exposed: a later same-target def in the block kills it.
+      if (killed_later_in_block(site)) continue;
+      gen[site.block].set(s);
+    }
+    for (std::size_t b = 0; b < nb; ++b) {
+      for (std::size_t s = 0; s < nsites; ++s) {
+        if (sites_[s].block == b) continue;
+        if (block_defines(b, sites_[s])) kill[b].set(s);
+      }
+    }
+    sets_ = solve(cfg, Direction::kForward, gen, kill, nsites);
+  }
+
+  const std::vector<DefSite>& sites() const noexcept { return sites_; }
+
+  /// The definition sites reaching block entry.
+  const BitSet& reach_in(std::size_t block) const noexcept {
+    return sets_.in[block];
+  }
+
+  /// Does definition site `s` reach instruction `instr` of `block`?
+  /// Computed by replaying the block prefix over the entry set.
+  bool reaches(std::uint32_t s, std::uint32_t block,
+               std::uint32_t instr) const {
+    const DefSite& site = sites_[s];
+    bool alive;
+    if (site.block == block && site.instr < instr) {
+      alive = true;  // defined earlier in this very block
+    } else {
+      alive = sets_.in[block].test(s);
+    }
+    if (!alive) return false;
+    // Killed by an intervening same-target definition?
+    const Block& blk = f_->blocks[block];
+    const std::uint32_t from =
+        site.block == block && site.instr < instr ? site.instr + 1 : 0;
+    for (std::uint32_t n = from; n < instr && n < blk.code.size(); ++n) {
+      const Instr& i = blk.code[n];
+      if (i.dead) continue;
+      if (site.temp >= 0 && produces_value(i.op) && i.dst == site.temp) {
+        return false;
+      }
+      if (site.local >= 0 && i.op == Op::kStoreLocal &&
+          i.imm == static_cast<word_t>(site.local)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// All definition sites of `temp` (SSA ⇒ at most one in well-formed IR).
+  const std::vector<std::uint32_t>& defs_of_temp(std::size_t t) const {
+    return temp_sites_[t];
+  }
+
+ private:
+  bool killed_later_in_block(const DefSite& site) const {
+    const Block& blk = f_->blocks[site.block];
+    for (std::uint32_t n = site.instr + 1; n < blk.code.size(); ++n) {
+      const Instr& i = blk.code[n];
+      if (i.dead) continue;
+      if (site.temp >= 0 && produces_value(i.op) && i.dst == site.temp) {
+        return true;
+      }
+      if (site.local >= 0 && i.op == Op::kStoreLocal &&
+          i.imm == static_cast<word_t>(site.local)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool block_defines(std::size_t b, const DefSite& site) const {
+    for (const Instr& i : f_->blocks[b].code) {
+      if (i.dead) continue;
+      if (site.temp >= 0 && produces_value(i.op) && i.dst == site.temp) {
+        return true;
+      }
+      if (site.local >= 0 && i.op == Op::kStoreLocal &&
+          i.imm == static_cast<word_t>(site.local)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const Function* f_;
+  std::vector<DefSite> sites_;
+  std::vector<std::vector<std::uint32_t>> temp_sites_;
+  std::vector<std::vector<std::uint32_t>> local_sites_;
+  DataflowResult sets_;
+};
+
+}  // namespace semstm::tmir

@@ -1,0 +1,277 @@
+#include "tmir/analysis/verify.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "tmir/analysis/cfg.hpp"
+
+namespace semstm::tmir {
+
+namespace {
+
+/// Which temp operands an op requires (a then b). Block-id operands
+/// (kBr/kCbr targets) and the optional kRet value are handled separately.
+struct Arity {
+  bool a = false;
+  bool b = false;
+};
+
+Arity required_operands(Op op) noexcept {
+  switch (op) {
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kAnd:
+    case Op::kCmp:
+    case Op::kTmStore:
+    case Op::kTmCmp1:
+    case Op::kTmCmp2:
+    case Op::kTmInc:
+      return {true, true};
+    case Op::kTmLoad:
+    case Op::kStoreLocal:
+    case Op::kCbr:
+      return {true, false};
+    default:
+      return {false, false};
+  }
+}
+
+const char* op_name(Op op) noexcept {
+  switch (op) {
+    case Op::kConst:      return "const";
+    case Op::kArg:        return "arg";
+    case Op::kLoadLocal:  return "load_local";
+    case Op::kAdd:        return "add";
+    case Op::kSub:        return "sub";
+    case Op::kMul:        return "mul";
+    case Op::kAnd:        return "and";
+    case Op::kCmp:        return "cmp";
+    case Op::kTmLoad:     return "tm_load";
+    case Op::kStoreLocal: return "store_local";
+    case Op::kTmStore:    return "tm_store";
+    case Op::kBr:         return "br";
+    case Op::kCbr:        return "cbr";
+    case Op::kRet:        return "ret";
+    case Op::kTmCmp1:     return "tm_cmp1";
+    case Op::kTmCmp2:     return "tm_cmp2";
+    case Op::kTmInc:      return "tm_inc";
+  }
+  return "?";
+}
+
+struct DefPos {
+  std::int32_t block = -1;
+  std::int32_t instr = -1;
+  bool dead = false;
+};
+
+class Verifier {
+ public:
+  explicit Verifier(const Function& f) : f_(f), cfg_(f) {}
+
+  std::vector<Diagnostic> run() {
+    collect_defs();
+    for (std::uint32_t b = 0; b < f_.blocks.size(); ++b) {
+      check_termination(b);
+      const Block& blk = f_.blocks[b];
+      for (std::uint32_t n = 0; n < blk.code.size(); ++n) {
+        check_instr(b, n, blk.code[n]);
+      }
+    }
+    return std::move(diags_);
+  }
+
+ private:
+  void report(std::uint32_t b, std::uint32_t n, const char* rule,
+              std::string msg) {
+    diags_.push_back({b, n, rule, std::move(msg)});
+  }
+
+  bool temp_in_range(std::int32_t t) const noexcept {
+    return t >= 0 && static_cast<std::uint32_t>(t) < f_.num_temps;
+  }
+
+  // First pass: definition positions per temp; duplicate assignments are
+  // reported here so later rules can use "the" def unambiguously. Dead
+  // instructions participate — single assignment is a property of the
+  // whole IR, and dead defs are exactly what use-of-dead-def points at.
+  void collect_defs() {
+    defs_.assign(f_.num_temps, DefPos{});
+    for (std::uint32_t b = 0; b < f_.blocks.size(); ++b) {
+      const Block& blk = f_.blocks[b];
+      for (std::uint32_t n = 0; n < blk.code.size(); ++n) {
+        const Instr& i = blk.code[n];
+        if (!produces_value(i.op) || !temp_in_range(i.dst)) continue;
+        DefPos& d = defs_[static_cast<std::size_t>(i.dst)];
+        if (d.block >= 0) {
+          report(b, n, "multiple-assignment",
+                 "temp t" + std::to_string(i.dst) + " already defined at " +
+                     std::to_string(d.block) + ":" + std::to_string(d.instr));
+          continue;
+        }
+        d = {static_cast<std::int32_t>(b), static_cast<std::int32_t>(n),
+             i.dead};
+      }
+    }
+  }
+
+  void check_termination(std::uint32_t b) {
+    if (!cfg_.reachable(b)) return;  // dead blocks carry no control flow
+    const Block& blk = f_.blocks[b];
+    std::int32_t term_at = -1;
+    for (std::uint32_t n = 0; n < blk.code.size(); ++n) {
+      const Instr& i = blk.code[n];
+      if (i.dead) continue;
+      if (term_at >= 0) {
+        report(b, n, "terminator-not-last",
+               std::string(op_name(i.op)) + " after terminator at index " +
+                   std::to_string(term_at));
+        break;  // one report per block is enough
+      }
+      if (is_terminator(i.op)) term_at = static_cast<std::int32_t>(n);
+    }
+    const bool ends_with_term = Cfg::live_terminator(blk) != nullptr;
+    if (term_at < 0 || !ends_with_term) {
+      const auto at =
+          blk.code.empty()
+              ? 0u
+              : static_cast<std::uint32_t>(blk.code.size() - 1);
+      if (term_at < 0) {
+        report(b, at, "missing-terminator",
+               "reachable block does not end in br/cbr/ret");
+      }
+    }
+  }
+
+  void check_instr(std::uint32_t b, std::uint32_t n, const Instr& i) {
+    // Arity: dst presence must match produces_value.
+    if (produces_value(i.op) && i.dst < 0) {
+      report(b, n, "missing-dst",
+             std::string(op_name(i.op)) + " must define a temp");
+    }
+    if (!produces_value(i.op) && i.dst >= 0) {
+      report(b, n, "dst-on-void",
+             std::string(op_name(i.op)) + " cannot define a temp");
+    }
+    const Arity need = required_operands(i.op);
+    if (need.a && i.a < 0) {
+      report(b, n, "missing-operand",
+             std::string(op_name(i.op)) + " requires operand a");
+    }
+    if (need.b && i.op != Op::kCbr && i.b < 0) {
+      report(b, n, "missing-operand",
+             std::string(op_name(i.op)) + " requires operand b");
+    }
+
+    // Temp-id ranges (dst and real temp operands).
+    if (i.dst >= 0 && !temp_in_range(i.dst)) {
+      report(b, n, "temp-out-of-range",
+             "dst t" + std::to_string(i.dst) + " >= num_temps " +
+                 std::to_string(f_.num_temps));
+    }
+    for_each_use(i, [&](std::int32_t t) {
+      if (t >= 0 && !temp_in_range(t)) {
+        report(b, n, "temp-out-of-range",
+               "operand t" + std::to_string(t) + " >= num_temps " +
+                   std::to_string(f_.num_temps));
+      }
+    });
+
+    // Branch targets.
+    if (i.op == Op::kBr || i.op == Op::kCbr) {
+      if (i.imm >= f_.blocks.size()) {
+        report(b, n, "branch-out-of-range",
+               "target block " + std::to_string(i.imm) + " >= " +
+                   std::to_string(f_.blocks.size()));
+      }
+      if (i.op == Op::kCbr &&
+          (i.b < 0 ||
+           static_cast<std::size_t>(i.b) >= f_.blocks.size())) {
+        report(b, n, "branch-out-of-range",
+               "else-target block " + std::to_string(i.b) + " >= " +
+                   std::to_string(f_.blocks.size()));
+      }
+    }
+
+    // Arg / local slot ranges.
+    if (i.op == Op::kArg && i.imm >= f_.num_args) {
+      report(b, n, "arg-out-of-range",
+             "arg " + std::to_string(i.imm) + " >= num_args " +
+                 std::to_string(f_.num_args));
+    }
+    if ((i.op == Op::kLoadLocal || i.op == Op::kStoreLocal) &&
+        i.imm >= f_.num_locals) {
+      report(b, n, "local-out-of-range",
+             "local slot " + std::to_string(i.imm) + " >= num_locals " +
+                 std::to_string(f_.num_locals));
+    }
+
+    // Staging: semantic builtins exist only downstream of pass_tm_mark.
+    if ((i.op == Op::kTmCmp1 || i.op == Op::kTmCmp2 || i.op == Op::kTmInc) &&
+        !f_.marked) {
+      report(b, n, "semantic-before-mark",
+             std::string(op_name(i.op)) +
+                 " present but the function has not been through tm_mark");
+    }
+
+    // Def/use discipline, for live uses only (a dead instruction's
+    // operands are never evaluated).
+    if (i.dead) return;
+    for_each_use(i, [&](std::int32_t t) {
+      if (!temp_in_range(t)) return;  // range rule already fired
+      const DefPos& d = defs_[static_cast<std::size_t>(t)];
+      if (d.block < 0) {
+        report(b, n, "undefined-temp",
+               "t" + std::to_string(t) + " is never defined");
+        return;
+      }
+      if (d.dead) {
+        report(b, n, "use-of-dead-def",
+               "t" + std::to_string(t) + " defined by dead instruction at " +
+                   std::to_string(d.block) + ":" + std::to_string(d.instr));
+        return;
+      }
+      if (!cfg_.reachable(b)) return;  // dominance undefined off-CFG
+      const auto db = static_cast<std::uint32_t>(d.block);
+      const bool dominates =
+          db == b ? static_cast<std::uint32_t>(d.instr) < n
+                  : cfg_.dominates(db, b);
+      if (!dominates) {
+        report(b, n, "def-not-dominating",
+               "use of t" + std::to_string(t) + " is not dominated by its " +
+                   "definition at " + std::to_string(d.block) + ":" +
+                   std::to_string(d.instr));
+      }
+    });
+  }
+
+  const Function& f_;
+  Cfg cfg_;
+  std::vector<DefPos> defs_;
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace
+
+std::string format_diagnostic(const Function& f, const Diagnostic& d) {
+  return f.name + ":" + std::to_string(d.block) + ":" +
+         std::to_string(d.instr) + ": [" + d.rule + "] " + d.message;
+}
+
+std::vector<Diagnostic> pass_verify(const Function& f) {
+  return Verifier(f).run();
+}
+
+void verify_or_die(const Function& f, const char* when) {
+  const std::vector<Diagnostic> diags = pass_verify(f);
+  if (diags.empty()) return;
+  std::fprintf(stderr, "semstm tmir: IR verification failed %s (%zu issues):\n",
+               when, diags.size());
+  for (const Diagnostic& d : diags) {
+    std::fprintf(stderr, "  %s\n", format_diagnostic(f, d).c_str());
+  }
+  std::abort();
+}
+
+}  // namespace semstm::tmir

@@ -1,0 +1,57 @@
+// pass_verify: the structural IR verifier.
+//
+// A Function is well-formed when every rule below holds; pass_verify
+// returns one located diagnostic per violation instead of asserting, so
+// tools (tmir_lint) can print them all and tests can assert on specific
+// rule ids. Rule catalogue (DESIGN.md §4.13):
+//
+//   missing-terminator    reachable block has no live terminator at its end
+//   terminator-not-last   live instruction after a live terminator
+//   branch-out-of-range   kBr/kCbr target >= blocks.size()
+//   missing-dst           produces_value(op) but dst < 0
+//   dst-on-void           !produces_value(op) but dst >= 0
+//   missing-operand       required temp operand is -1 (per-op arity)
+//   temp-out-of-range     dst or operand temp id outside [0, num_temps)
+//   multiple-assignment   two instructions (live or dead) define one temp
+//   undefined-temp        live use of a temp with no defining instruction
+//   use-of-dead-def       live use of a temp whose only def is dead-marked
+//   def-not-dominating    def does not dominate a live use (reachable code)
+//   arg-out-of-range      kArg index >= num_args
+//   local-out-of-range    kLoadLocal/kStoreLocal slot >= num_locals
+//   semantic-before-mark  kTmCmp1/kTmCmp2/kTmInc in an unmarked function
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tmir/ir.hpp"
+
+namespace semstm::tmir {
+
+struct Diagnostic {
+  std::uint32_t block = 0;
+  std::uint32_t instr = 0;   ///< index into blocks[block].code
+  const char* rule = "";     ///< stable rule id from the catalogue above
+  std::string message;
+};
+
+/// Render "function:block:instr: [rule] message".
+std::string format_diagnostic(const Function& f, const Diagnostic& d);
+
+/// Check every rule; empty result == well-formed.
+std::vector<Diagnostic> pass_verify(const Function& f);
+
+/// Verify and abort (printing every diagnostic) on malformed IR. Called
+/// after every pass and from Builder::finish() in Debug builds; compiled
+/// out under NDEBUG so Release pipelines pay nothing.
+void verify_or_die(const Function& f, const char* when);
+
+inline void debug_verify([[maybe_unused]] const Function& f,
+                         [[maybe_unused]] const char* when) {
+#ifndef NDEBUG
+  verify_or_die(f, when);
+#endif
+}
+
+}  // namespace semstm::tmir

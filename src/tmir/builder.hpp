@@ -4,6 +4,7 @@
 #include <cassert>
 #include <utility>
 
+#include "tmir/analysis/verify.hpp"
 #include "tmir/ir.hpp"
 
 namespace semstm::tmir {
@@ -80,6 +81,15 @@ class Builder {
           .imm = then_b});
   }
   void ret(std::int32_t v) { emit({.op = Op::kRet, .a = v}); }
+
+  /// Hand back the finished function. In Debug builds the structural
+  /// verifier runs first and aborts with located diagnostics on malformed
+  /// IR — a Builder bug, not a user error. Tests that construct malformed
+  /// IR on purpose use take(), which skips the check.
+  Function finish() {
+    debug_verify(f_, "at Builder::finish()");
+    return take();
+  }
 
   Function take() { return std::move(f_); }
 

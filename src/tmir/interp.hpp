@@ -16,6 +16,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 #include <vector>
 
@@ -25,6 +27,21 @@
 #include "tmir/ir.hpp"
 
 namespace semstm::tmir {
+
+/// Diagnose-and-die for out-of-range ids in the IR being executed.
+/// Malformed IR reaching the interpreter is a pass/builder bug that
+/// previously surfaced as out-of-bounds vector indexing (UB in release
+/// builds, where the assert-free operator[] just reads garbage); fail
+/// loudly in every build instead, matching the die_no_ctx convention.
+/// pass_verify catches all of these ahead of time — run it.
+[[noreturn]] inline void die_malformed(const char* fname, const char* what,
+                                       long long id, long long limit) noexcept {
+  std::fprintf(stderr,
+               "semstm tmir: malformed IR in %s: %s %lld out of range [0,%lld)"
+               " — run pass_verify on this function\n",
+               fname, what, id, limit);
+  std::abort();
+}
 
 struct InterpOptions {
   bool instrument_locals = false;
@@ -79,25 +96,40 @@ word_t execute(TxT& tx, const Function& f, const word_t* args,
       }
       sched::tick(sched::Cost::kWork);  // interpretation overhead
       auto t = [&](std::int32_t id) -> word_t& {
+        if (id < 0 || static_cast<std::uint32_t>(id) >= f.num_temps) {
+          die_malformed(f.name.c_str(), "temp", id, f.num_temps);
+        }
         return temps[static_cast<std::size_t>(id)];
+      };
+      auto slot = [&](word_t s) -> std::size_t {
+        if (s >= f.num_locals) {
+          die_malformed(f.name.c_str(), "local slot",
+                        static_cast<long long>(s), f.num_locals);
+        }
+        return static_cast<std::size_t>(s);
       };
       switch (i.op) {
         case Op::kConst:
           t(i.dst) = i.imm;
           break;
         case Op::kArg:
+          if (i.imm >= nargs) {
+            die_malformed(f.name.c_str(), "arg index",
+                          static_cast<long long>(i.imm),
+                          static_cast<long long>(nargs));
+          }
           t(i.dst) = args[i.imm];
           break;
         case Op::kLoadLocal:
           t(i.dst) = opts.instrument_locals
-                         ? abi::itm_read(tx, &local_shadow[i.imm])
-                         : locals[i.imm];
+                         ? abi::itm_read(tx, &local_shadow[slot(i.imm)])
+                         : locals[slot(i.imm)];
           break;
         case Op::kStoreLocal:
           if (opts.instrument_locals) {
-            abi::itm_write(tx, &local_shadow[i.imm], t(i.a));
+            abi::itm_write(tx, &local_shadow[slot(i.imm)], t(i.a));
           } else {
-            locals[i.imm] = t(i.a);
+            locals[slot(i.imm)] = t(i.a);
           }
           break;
         case Op::kAdd:

@@ -73,6 +73,14 @@ constexpr bool is_terminator(Op op) noexcept {
 
 /// One three-operand statement. `dst` and the operands `a`/`b` are temp
 /// ids; `imm` carries constants / local slots / branch targets.
+///
+/// `src_a`/`src_b` are *provenance links*, recorded by pass_tm_mark on the
+/// semantic builtins it emits: the temp ids of the original TM-load result
+/// (src_a; both loads for kTmCmp2 via src_a/src_b) and, for kTmInc, the
+/// arithmetic temp that computed the stored value (src_b). They are not
+/// operands — the interpreter never reads them and tm_optimize is free to
+/// kill the instructions they name — but pass_tm_lint uses them to
+/// independently re-prove that each rewrite was legal.
 struct Instr {
   Op op = Op::kConst;
   Rel rel = Rel::EQ;  // kCmp / kTmCmp*
@@ -81,10 +89,22 @@ struct Instr {
   std::int32_t b = -1;
   word_t imm = 0;
   bool dead = false;  ///< marked by passes; skipped by the interpreter
+  std::int32_t src_a = -1;  ///< provenance: origin TM-load temp
+  std::int32_t src_b = -1;  ///< provenance: second load (S2R) / arith (SW)
 };
 
 struct Block {
   std::vector<Instr> code;
+};
+
+/// Live/dead instruction counts for one opcode. Passes mark instructions
+/// dead rather than erasing them, so meaningful statistics after
+/// tm_optimize need both sides of the split — `count_op` alone silently
+/// drifted from MarkStats once loads started dying.
+struct OpCount {
+  std::size_t live = 0;
+  std::size_t dead = 0;
+  std::size_t total() const noexcept { return live + dead; }
 };
 
 /// A function: blocks[0] is the entry. Temps are single-assignment by
@@ -95,17 +115,80 @@ struct Function {
   std::uint32_t num_temps = 0;
   std::uint32_t num_locals = 0;
   std::uint32_t num_args = 0;
+  /// Set by pass_tm_mark: semantic builtins are only well-formed after the
+  /// marking stage has run (pass_verify's staging rule).
+  bool marked = false;
 
   /// Count of live (non-dead) instructions with the given op.
-  std::size_t count_op(Op op) const noexcept {
-    std::size_t n = 0;
+  std::size_t count_op(Op op) const noexcept { return count(op).live; }
+
+  /// Live and dead counts for the given op.
+  OpCount count(Op op) const noexcept {
+    OpCount c;
     for (const Block& b : blocks) {
       for (const Instr& i : b.code) {
-        if (!i.dead && i.op == op) ++n;
+        if (i.op != op) continue;
+        if (i.dead) {
+          ++c.dead;
+        } else {
+          ++c.live;
+        }
       }
     }
-    return n;
+    return c;
   }
 };
+
+/// Visit every temp *operand* of an instruction (block ids, immediates and
+/// provenance links are not uses). Shared by the passes, the analyses and
+/// the verifier so the notion of "use" cannot drift between them.
+template <typename Fn>
+void for_each_use(const Instr& i, Fn&& fn) {
+  switch (i.op) {
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kAnd:
+    case Op::kCmp:
+    case Op::kTmStore:
+    case Op::kTmCmp1:
+    case Op::kTmCmp2:
+    case Op::kTmInc:
+      fn(i.a);
+      fn(i.b);
+      break;
+    case Op::kTmLoad:
+    case Op::kStoreLocal:
+    case Op::kCbr:  // b is a block id, not a temp
+      fn(i.a);
+      break;
+    case Op::kRet:
+      if (i.a >= 0) fn(i.a);
+      break;
+    default:
+      break;  // kConst/kArg/kLoadLocal/kBr: no temp uses
+  }
+}
+
+/// True for ops whose only effect is defining `dst` — the set tm_optimize
+/// may delete when the definition is dead. The semantic compares are pure
+/// too, but they carry programmer-requested semantics and are excluded by
+/// the pass itself, not here.
+constexpr bool is_pure(Op op) noexcept {
+  switch (op) {
+    case Op::kConst:
+    case Op::kArg:
+    case Op::kLoadLocal:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kAnd:
+    case Op::kCmp:
+    case Op::kTmLoad:
+      return true;
+    default:
+      return false;
+  }
+}
 
 }  // namespace semstm::tmir

@@ -77,7 +77,7 @@ Function build_probe_kernel() {
   b.ret(b.konst(1));
   b.set_block(absent);
   b.ret(b.konst(0));
-  return b.take();
+  return b.finish();
 }
 
 Function build_insert_kernel() {
@@ -118,7 +118,7 @@ Function build_insert_kernel() {
   b.ret(b.konst(0));
   b.set_block(fail);
   b.ret(b.konst(0));
-  return b.take();
+  return b.finish();
 }
 
 Function build_remove_kernel() {
@@ -158,7 +158,7 @@ Function build_remove_kernel() {
   b.ret(b.konst(1));
   b.set_block(absent);
   b.ret(b.konst(0));
-  return b.take();
+  return b.finish();
 }
 
 Function build_reserve_kernel(unsigned candidates) {
@@ -206,7 +206,7 @@ Function build_reserve_kernel(unsigned candidates) {
 
   b.set_block(none);
   b.ret(b.konst(0));
-  return b.take();
+  return b.finish();
 }
 
 Function build_center_update_kernel(unsigned features) {
@@ -226,7 +226,7 @@ Function build_center_update_kernel(unsigned features) {
     b.tm_store(addr, b.add(c, b.arg(2 + j)));
   }
   b.ret(b.konst(0));
-  return b.take();
+  return b.finish();
 }
 
 }  // namespace semstm::tmir

@@ -2,6 +2,10 @@
 
 #include <vector>
 
+#include "tmir/analysis/cfg.hpp"
+#include "tmir/analysis/liveness.hpp"
+#include "tmir/analysis/verify.hpp"
+
 namespace semstm::tmir {
 
 namespace {
@@ -45,33 +49,16 @@ bool defined_in_block(const Block& b, const Instr* def) noexcept {
   return def >= b.code.data() && def < b.code.data() + b.code.size();
 }
 
-/// Visit every temp operand of an instruction (excluding block ids).
-template <typename Fn>
-void for_each_use(const Instr& i, Fn&& fn) {
-  switch (i.op) {
-    case Op::kAdd:
-    case Op::kSub:
-    case Op::kMul:
-    case Op::kAnd:
-    case Op::kCmp:
-    case Op::kTmStore:
-    case Op::kTmCmp1:
-    case Op::kTmCmp2:
-    case Op::kTmInc:
-      fn(i.a);
-      fn(i.b);
-      break;
-    case Op::kTmLoad:
-    case Op::kStoreLocal:
-    case Op::kCbr:  // b is a block id, not a temp
-      fn(i.a);
-      break;
-    case Op::kRet:
-      if (i.a >= 0) fn(i.a);
-      break;
-    default:
-      break;  // kConst/kArg/kLoadLocal/kBr: no temp uses
+/// Any live TM write strictly between `from` and `to` in block `b`? With
+/// no alias analysis every TM write may hit the origin load's address, so
+/// a rewrite across one would observe a different value than the original
+/// expression did — the legality condition pass_tm_lint re-checks.
+bool tm_write_between(const Instr* from, const Instr* to) {
+  for (const Instr* i = from + 1; i < to; ++i) {
+    if (i->dead) continue;
+    if (i->op == Op::kTmStore || i->op == Op::kTmInc) return true;
   }
+  return false;
 }
 
 }  // namespace
@@ -101,21 +88,31 @@ MarkStats pass_tm_mark(Function& f) {
                             defined_in_block(b, da);
         const bool b_load = db != nullptr && db->op == Op::kTmLoad &&
                             defined_in_block(b, db);
-        if (a_load && b_load) {
+        const bool a_clear = a_load && !tm_write_between(da, &i);
+        const bool b_clear = b_load && !tm_write_between(db, &i);
+        if ((a_load && !a_clear) || (b_load && !b_clear)) {
+          ++stats.skipped_clobbered;
+          continue;
+        }
+        if (a_clear && b_clear) {
           // _ITM_S2R: both origins are direct transactional accesses.
           i.op = Op::kTmCmp2;
-          i.a = da->a;  // address temps
+          i.src_a = i.a;  // origin load temps, for the lint's re-proof
+          i.src_b = i.b;
+          i.a = da->a;    // address temps
           i.b = db->a;
           ++stats.s2r;
-        } else if (a_load && is_literal_or_local(db)) {
+        } else if (a_clear && is_literal_or_local(db)) {
           i.op = Op::kTmCmp1;
+          i.src_a = i.a;
           i.a = da->a;
           ++stats.s1r;
-        } else if (b_load && is_literal_or_local(da)) {
+        } else if (b_clear && is_literal_or_local(da)) {
           // (value REL load) == (load mirror(REL) value).
           const std::int32_t value_temp = i.a;
           i.op = Op::kTmCmp1;
           i.rel = mirror(i.rel);
+          i.src_a = i.b;
           i.a = db->a;       // address temp of the load
           i.b = value_temp;  // literal/local operand
           ++stats.s1r;
@@ -133,7 +130,13 @@ MarkStats pass_tm_mark(Function& f) {
 
         // load on the left: store(addr, load(addr) +/- delta)
         if (dx != nullptr && dx->op == Op::kTmLoad && dx->a == i.a &&
-            is_literal_or_local(dy)) {
+            defined_in_block(b, dx) && is_literal_or_local(dy)) {
+          if (tm_write_between(dx, &i)) {
+            ++stats.skipped_clobbered;
+            continue;
+          }
+          i.src_a = dv->a;  // origin load temp
+          i.src_b = i.b;    // arithmetic temp
           i.op = Op::kTmInc;
           i.b = dv->b;                            // delta temp
           i.imm = dv->op == Op::kSub ? 1 : 0;     // 1 = negate delta
@@ -142,7 +145,14 @@ MarkStats pass_tm_mark(Function& f) {
         }
         // load on the right (add only: c - load is not an increment)
         if (dv->op == Op::kAdd && dy != nullptr && dy->op == Op::kTmLoad &&
-            dy->a == i.a && is_literal_or_local(dx)) {
+            dy->a == i.a && defined_in_block(b, dy) &&
+            is_literal_or_local(dx)) {
+          if (tm_write_between(dy, &i)) {
+            ++stats.skipped_clobbered;
+            continue;
+          }
+          i.src_a = dv->b;
+          i.src_b = i.b;
           i.op = Op::kTmInc;
           i.b = dv->a;
           i.imm = 0;
@@ -152,10 +162,69 @@ MarkStats pass_tm_mark(Function& f) {
       }
     }
   }
+  f.marked = true;
+  debug_verify(f, "after pass_tm_mark");
   return stats;
 }
 
 OptimizeStats pass_tm_optimize(Function& f) {
+  OptimizeStats stats;
+  const Cfg cfg(f);
+
+  auto kill = [&](Instr& i) {
+    i.dead = true;
+    if (i.op == Op::kTmLoad) {
+      ++stats.removed_tm_loads;
+    } else {
+      ++stats.removed_other;
+    }
+  };
+
+  // Unreachable blocks never execute; their code (terminators included)
+  // is summarily dead and excluded from the liveness problem below.
+  for (std::size_t b = 0; b < f.blocks.size(); ++b) {
+    if (cfg.reachable(b)) continue;
+    for (Instr& i : f.blocks[b].code) {
+      if (!i.dead) kill(i);
+    }
+  }
+
+  // Liveness-driven sweep, to fixpoint: removing an instruction erases
+  // its uses, which can turn an upstream definition in another block
+  // dead — block-summary liveness must then be recomputed. Within one
+  // block a single backward walk already cascades (the running live set
+  // never gains the uses of a killed instruction).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const Liveness lv = compute_liveness(f, cfg);
+    for (const std::uint32_t b : cfg.rpo()) {
+      Block& blk = f.blocks[b];
+      BitSet live = lv.sets.out[b];
+      for (auto it = blk.code.rbegin(); it != blk.code.rend(); ++it) {
+        Instr& i = *it;
+        if (i.dead) continue;
+        // is_pure excludes the kTmCmp builtins, honouring the contract
+        // that tm_optimize never deletes programmer-visible semantics.
+        const bool dead_def = is_pure(i.op) && i.dst >= 0 &&
+                              !live.test(static_cast<std::size_t>(i.dst));
+        const bool dead_store =
+            i.op == Op::kStoreLocal &&
+            !live.test(f.num_temps + static_cast<std::size_t>(i.imm));
+        if (dead_def || dead_store) {
+          kill(i);
+          changed = true;
+          continue;  // its uses never enter the live set
+        }
+        detail::step_backward(i, f.num_temps, live);
+      }
+    }
+  }
+  debug_verify(f, "after pass_tm_optimize");
+  return stats;
+}
+
+OptimizeStats pass_tm_optimize_zero_uses(Function& f) {
   OptimizeStats stats;
   bool changed = true;
   while (changed) {

@@ -9,6 +9,11 @@ struct MarkStats {
   std::size_t s1r = 0;  ///< cmps rewritten to _ITM_S1R (address–value)
   std::size_t s2r = 0;  ///< cmps rewritten to _ITM_S2R (address–address)
   std::size_t sw = 0;   ///< stores rewritten to _ITM_SW (increment)
+  /// Candidate patterns skipped because a TM write sat between the origin
+  /// load and the use — rewriting those would change which value the
+  /// comparison/increment observes (the legality condition pass_tm_lint
+  /// re-proves for every rewrite that *was* made).
+  std::size_t skipped_clobbered = 0;
 };
 
 /// tm_mark extension: detect the cmp and inc code patterns.
@@ -24,7 +29,13 @@ struct MarkStats {
 /// Pattern matching is local (origins must be in the same block as the
 /// use), mirroring the paper's "we look for simple expression patterns
 /// that usually reside in the same basic block — no complex alias
-/// analysis".
+/// analysis". The no-alias-analysis flip side: a rewrite is refused when
+/// any TM write intervenes between the origin load and its use, since it
+/// may store to the same address.
+///
+/// Each rewritten instruction records its origin temps in src_a/src_b and
+/// the function is flagged `marked`; pass_tm_lint independently re-proves
+/// every recorded rewrite from reaching definitions.
 MarkStats pass_tm_mark(Function& f);
 
 struct OptimizeStats {
@@ -32,10 +43,23 @@ struct OptimizeStats {
   std::size_t removed_other = 0;
 };
 
-/// tm_optimize: remove TM reads (and other pure statements) that define
-/// never-live temporaries — notably the read half of every rewritten
-/// increment. Conservative: only statements whose result is provably
-/// unused (single-assignment temps with zero uses) are removed.
+/// tm_optimize: delete statements whose results are dead — notably the
+/// read half of every rewritten increment and compare. Built on the
+/// backward liveness analysis (tmir/analysis/liveness.hpp) over temps and
+/// local slots, iterated to fixpoint:
+///   - pure value producers (is_pure) defining a non-live temp die;
+///   - kStoreLocal to a slot that is not live-out of the store dies;
+///   - every instruction in an unreachable block dies.
+/// kTmCmp1/kTmCmp2 are pure but never removed here: they carry the
+/// semantics the programmer asked for, and dropping them is the caller's
+/// decision. TM loads are the headline removal (the paper's read-set
+/// reduction); they are counted separately.
 OptimizeStats pass_tm_optimize(Function& f);
+
+/// The pre-analysis heuristic this repo shipped first: iteratively remove
+/// single-assignment definitions with zero syntactic uses. Kept as the
+/// differential baseline — tests assert the liveness pass removes at
+/// least as many dead TM loads on every kernel with identical execution.
+OptimizeStats pass_tm_optimize_zero_uses(Function& f);
 
 }  // namespace semstm::tmir

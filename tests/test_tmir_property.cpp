@@ -1,0 +1,376 @@
+// Property tests for the tmir analysis pipeline.
+//
+// 1. Random-IR generation: a seeded generator produces straight-line and
+//    diamond CFGs over TM loads/stores, locals and arithmetic. For every
+//    seed, pass_verify must accept what the Builder produced, the full
+//    mark -> lint -> optimize pipeline must stay diagnostic-free, the
+//    liveness-based optimizer must remove at least as many dead TM loads
+//    as the zero-uses heuristic, and — the soundness property — the
+//    optimized function must compute the same result and leave the same
+//    memory as the original on the same inputs.
+//
+// 2. Deterministic-scheduler oracle: every built-in kernel, pre- vs
+//    post-pass, run under the virtual scheduler across all five
+//    algorithms, must produce bit-identical per-op results, final memory
+//    and per-fiber commit counts (each fiber owns disjoint tables, so the
+//    two pipelines face identical conflict structure: none).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "containers/tarray.hpp"
+#include "sched/virtual_scheduler.hpp"
+#include "semstm.hpp"
+#include "tmir/analysis/lint.hpp"
+#include "tmir/analysis/verify.hpp"
+#include "tmir/builder.hpp"
+#include "tmir/interp.hpp"
+#include "tmir/kernels.hpp"
+#include "tmir/passes.hpp"
+#include "util/rng.hpp"
+
+namespace semstm::tmir {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Random-IR generator
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kCells = 16;
+
+/// Emits random code into the current block. `pool` holds the temps the
+/// block may legally use (everything defined in a dominating position).
+class RandomCode {
+ public:
+  RandomCode(Builder& b, Rng& rng, std::int32_t base)
+      : b_(b), rng_(rng), base_(base) {}
+
+  std::int32_t pick(const std::vector<std::int32_t>& pool) {
+    return pool[static_cast<std::size_t>(rng_.below(pool.size()))];
+  }
+
+  std::int32_t addr_of_random_cell() {
+    const word_t cell = rng_.below(kCells);
+    return b_.add(base_, b_.konst(cell * 8));
+  }
+
+  /// Mostly-pure operand: what tm_mark accepts as a compare value or an
+  /// increment delta. Falls back to an arbitrary pool temp sometimes so
+  /// the not-markable path is exercised too.
+  std::int32_t pure_or_any(const std::vector<std::int32_t>& pool) {
+    return rng_.below(2) == 0 ? b_.konst(rng_.below(64)) : pick(pool);
+  }
+
+  void emit_op(std::vector<std::int32_t>& pool) {
+    switch (rng_.below(9)) {
+      case 0:
+        pool.push_back(b_.konst(rng_.below(1000)));
+        break;
+      case 1:
+        pool.push_back(b_.add(pick(pool), pick(pool)));
+        break;
+      case 2:
+        pool.push_back(b_.sub(pick(pool), pick(pool)));
+        break;
+      case 3:
+        pool.push_back(b_.band(pick(pool), pick(pool)));
+        break;
+      case 4:
+        pool.push_back(b_.tm_load(addr_of_random_cell()));
+        break;
+      case 5:
+        b_.tm_store(addr_of_random_cell(), pick(pool));
+        break;
+      case 6:
+        b_.store_local(static_cast<std::uint32_t>(rng_.below(2)), pick(pool));
+        break;
+      case 7:
+        pool.push_back(b_.load_local(static_cast<std::uint32_t>(rng_.below(2))));
+        break;
+      case 8: {
+        // The paper's increment shape — sometimes left markable, sometimes
+        // clobbered or impure so tm_mark's refusal paths run too.
+        const std::int32_t addr = addr_of_random_cell();
+        const std::int32_t v = b_.tm_load(addr);
+        const std::int32_t delta = pure_or_any(pool);
+        const std::int32_t s =
+            rng_.below(2) == 0 ? b_.add(v, delta) : b_.sub(v, delta);
+        b_.tm_store(addr, s);
+        if (rng_.below(4) == 0) pool.push_back(v);  // keep the read live
+        break;
+      }
+    }
+  }
+
+  void emit_block(std::vector<std::int32_t>& pool, unsigned len) {
+    for (unsigned i = 0; i < len; ++i) emit_op(pool);
+  }
+
+  /// A branch condition in the S1R family (sometimes markable).
+  std::int32_t condition(std::vector<std::int32_t>& pool) {
+    static constexpr Rel kRels[] = {Rel::EQ,  Rel::NEQ, Rel::SLT,
+                                    Rel::SGT, Rel::ULT, Rel::UGE};
+    const Rel rel = kRels[rng_.below(6)];
+    if (rng_.below(2) == 0) {
+      return b_.cmp(rel, b_.tm_load(addr_of_random_cell()), pure_or_any(pool));
+    }
+    return b_.cmp(rel, pick(pool), pick(pool));
+  }
+
+ private:
+  Builder& b_;
+  Rng& rng_;
+  std::int32_t base_;
+};
+
+Function generate(std::uint64_t seed) {
+  Rng rng(seed);
+  // args: [0] = cell base address, [1..3] = opaque input values.
+  Builder b("rand" + std::to_string(seed), 4, 2);
+  const std::int32_t base = b.arg(0);
+  RandomCode gen(b, rng, base);
+
+  std::vector<std::int32_t> pool{b.arg(1), b.arg(2), b.arg(3),
+                                 b.konst(rng.below(100))};
+  gen.emit_block(pool, 3 + static_cast<unsigned>(rng.below(8)));
+
+  if (rng.below(2) == 0) {
+    // Straight line.
+    b.ret(gen.pick(pool));
+    return b.take();
+  }
+
+  // Diamond: entry -> {then, else} -> join. Branch blocks may only use
+  // entry-defined temps; their own temps must not leak to the join.
+  const std::int32_t cond = gen.condition(pool);
+  const std::uint32_t then_b = b.new_block();
+  const std::uint32_t else_b = b.new_block();
+  const std::uint32_t join = b.new_block();
+  b.cbr(cond, then_b, else_b);
+  for (const std::uint32_t blk : {then_b, else_b}) {
+    b.set_block(blk);
+    std::vector<std::int32_t> local = pool;
+    gen.emit_block(local, 1 + static_cast<unsigned>(rng.below(5)));
+    b.br(join);
+  }
+  b.set_block(join);
+  gen.emit_block(pool, static_cast<unsigned>(rng.below(3)));
+  b.ret(gen.pick(pool));
+  return b.take();
+}
+
+// ---------------------------------------------------------------------------
+// Property: verify accepts, pipeline stays clean, optimize is sound
+// ---------------------------------------------------------------------------
+
+class RandomIr : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    algo_ = make_algorithm("snorec");
+    ctx_ = std::make_unique<ThreadCtx>(algo_->make_tx());
+    binder_ = std::make_unique<CtxBinder>(*ctx_);
+  }
+  word_t run(const Function& f, const std::array<word_t, 4>& args) {
+    return atomically(
+        [&](Tx& tx) { return execute(tx, f, args.data(), args.size()); });
+  }
+  std::unique_ptr<Algorithm> algo_;
+  std::unique_ptr<ThreadCtx> ctx_;
+  std::unique_ptr<CtxBinder> binder_;
+};
+
+TEST_F(RandomIr, FiveHundredSeedsVerifyLintAndStayEquivalent) {
+  std::size_t marked_something = 0;
+  std::size_t beat_the_heuristic = 0;
+  for (std::uint64_t seed = 1; seed <= 500; ++seed) {
+    const Function raw = generate(seed);
+    ASSERT_TRUE(pass_verify(raw).empty())
+        << format_diagnostic(raw, pass_verify(raw)[0]);
+
+    Function opt = raw;
+    const MarkStats ms = pass_tm_mark(opt);
+    marked_something += (ms.s1r + ms.s2r + ms.sw) != 0 ? 1 : 0;
+    ASSERT_TRUE(pass_verify(opt).empty()) << "seed " << seed << " post-mark";
+    ASSERT_TRUE(pass_tm_lint(opt).empty()) << "seed " << seed << " post-mark";
+
+    Function legacy = opt;  // marked copy for the baseline optimizer
+    const OptimizeStats os = pass_tm_optimize(opt);
+    const OptimizeStats oz = pass_tm_optimize_zero_uses(legacy);
+    ASSERT_TRUE(pass_verify(opt).empty()) << "seed " << seed << " post-opt";
+    ASSERT_TRUE(pass_tm_lint(opt).empty()) << "seed " << seed << " post-opt";
+    ASSERT_GE(os.removed_tm_loads, oz.removed_tm_loads) << "seed " << seed;
+    ASSERT_EQ(os.removed_tm_loads, opt.count(Op::kTmLoad).dead)
+        << "seed " << seed;
+    beat_the_heuristic += os.removed_tm_loads > oz.removed_tm_loads ? 1 : 0;
+
+    // Soundness: same inputs, same initial memory -> same result, same
+    // final memory. This is what "never removes a read whose result is
+    // read" means observably.
+    Rng init(seed ^ 0x9E3779B97F4A7C15ULL);
+    TArray<std::int64_t> mem_a(kCells, 0), mem_b(kCells, 0);
+    for (std::size_t c = 0; c < kCells; ++c) {
+      const auto v = static_cast<std::int64_t>(init.below(1 << 20));
+      mem_a[c].unsafe_set(v);
+      mem_b[c].unsafe_set(v);
+    }
+    const std::array<word_t, 4> args_a{to_word(mem_a[0].word()), init.below(50),
+                                       init.below(50), init.below(50)};
+    std::array<word_t, 4> args_b = args_a;
+    args_b[0] = to_word(mem_b[0].word());
+    ASSERT_EQ(run(raw, args_a), run(opt, args_b)) << "seed " << seed;
+    for (std::size_t c = 0; c < kCells; ++c) {
+      ASSERT_EQ(mem_a[c].unsafe_get(), mem_b[c].unsafe_get())
+          << "seed " << seed << " cell " << c;
+    }
+  }
+  // The generator must actually exercise the rewrites, not just survive.
+  EXPECT_GT(marked_something, 50u);
+  EXPECT_GT(beat_the_heuristic, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic-scheduler differential oracle
+// ---------------------------------------------------------------------------
+
+struct PipelineRun {
+  std::vector<std::vector<word_t>> results;   // per fiber, per op
+  std::vector<std::int64_t> memory;           // all tables, flattened
+  std::vector<std::uint64_t> commits;         // per fiber
+  std::vector<std::uint64_t> aborts;          // per fiber
+};
+
+/// Run a scripted kernel workload on the virtual scheduler. Each fiber
+/// owns disjoint tables, so raw and optimized pipelines see the same
+/// (absent) conflict structure even though the optimized one issues fewer
+/// barriers and therefore interleaves differently.
+PipelineRun run_kernels(const std::string& algo_name, bool optimized) {
+  constexpr unsigned kFibers = 2;
+  constexpr std::size_t kCap = 32;       // hash-table capacity (power of 2)
+  constexpr std::size_t kRecords = 8;    // reserve() tables
+  constexpr unsigned kFeatures = 8;
+
+  Function probe = build_probe_kernel();
+  Function insert = build_insert_kernel();
+  Function remove = build_remove_kernel();
+  Function reserve = build_reserve_kernel(4);
+  Function center = build_center_update_kernel(kFeatures);
+  if (optimized) {
+    for (Function* f : {&probe, &insert, &remove, &reserve, &center}) {
+      pass_tm_mark(*f);
+      pass_tm_optimize(*f);
+    }
+  }
+
+  auto algo = make_algorithm(algo_name);
+  struct FiberTables {
+    TArray<std::int64_t> states, keys, numfree, price, centers;
+    TVar<std::int64_t> len;
+    FiberTables()
+        : states(kCap, 0), keys(kCap, 0), numfree(kRecords, 3),
+          price(kRecords, 0), centers(kFeatures, 0), len(0) {}
+  };
+  std::vector<std::unique_ptr<FiberTables>> tables;
+  std::vector<std::unique_ptr<ThreadCtx>> ctxs;
+  for (unsigned t = 0; t < kFibers; ++t) {
+    tables.push_back(std::make_unique<FiberTables>());
+    Rng setup(900 + t);
+    for (std::size_t i = 0; i < kRecords; ++i) {
+      tables.back()->price[i].unsafe_set(
+          static_cast<std::int64_t>(setup.between(10, 500)));
+    }
+    ctxs.push_back(std::make_unique<ThreadCtx>(algo->make_tx()));
+  }
+
+  PipelineRun out;
+  out.results.resize(kFibers);
+
+  sched::VirtualScheduler sim(sched::SimOptions{.seed = 42});
+  sim.run(kFibers, [&](unsigned tid) {
+    CtxBinder bind(*ctxs[tid]);
+    FiberTables& tb = *tables[tid];
+    Rng rng(1000 + tid);
+    for (int step = 0; step < 80; ++step) {
+      const Function* f = nullptr;
+      std::array<word_t, 10> args{};
+      std::size_t nargs = 0;
+      switch (rng.below(5)) {
+        case 0:
+        case 1:
+        case 2: {
+          f = rng.below(3) == 0   ? &probe
+              : rng.below(2) == 0 ? &insert
+                                  : &remove;
+          const word_t key = 1 + rng.below(24);
+          args = {to_word(tb.states[0].word()), to_word(tb.keys[0].word()),
+                  kCap - 1, key % kCap, key, kCap};
+          nargs = 6;
+          break;
+        }
+        case 3: {
+          f = &reserve;
+          args[0] = to_word(tb.numfree[0].word());
+          args[1] = to_word(tb.price[0].word());
+          for (int q = 0; q < 4; ++q) args[2 + q] = rng.below(kRecords);
+          nargs = 6;
+          break;
+        }
+        case 4: {
+          f = &center;
+          args[0] = to_word(tb.len.word());
+          args[1] = to_word(tb.centers[0].word());
+          for (unsigned j = 0; j < kFeatures; ++j) {
+            args[2 + j] = rng.below(100);
+          }
+          nargs = 2 + kFeatures;
+          break;
+        }
+      }
+      out.results[tid].push_back(atomically(
+          [&](Tx& tx) { return execute(tx, *f, args.data(), nargs); }));
+    }
+  });
+
+  for (unsigned t = 0; t < kFibers; ++t) {
+    const FiberTables& tb = *tables[t];
+    for (std::size_t i = 0; i < kCap; ++i) {
+      out.memory.push_back(tb.states[i].unsafe_get());
+      out.memory.push_back(tb.keys[i].unsafe_get());
+    }
+    for (std::size_t i = 0; i < kRecords; ++i) {
+      out.memory.push_back(tb.numfree[i].unsafe_get());
+      out.memory.push_back(tb.price[i].unsafe_get());
+    }
+    for (unsigned j = 0; j < kFeatures; ++j) {
+      out.memory.push_back(tb.centers[j].unsafe_get());
+    }
+    out.memory.push_back(tb.len.unsafe_get());
+    out.commits.push_back(ctxs[t]->tx->stats.commits);
+    out.aborts.push_back(ctxs[t]->tx->stats.aborts);
+  }
+  return out;
+}
+
+class SchedulerOracle : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SchedulerOracle, OptimizedKernelsAreBitIdenticalUnderTheScheduler) {
+  const PipelineRun raw = run_kernels(GetParam(), /*optimized=*/false);
+  const PipelineRun opt = run_kernels(GetParam(), /*optimized=*/true);
+  ASSERT_EQ(raw.results.size(), opt.results.size());
+  for (std::size_t t = 0; t < raw.results.size(); ++t) {
+    ASSERT_EQ(raw.results[t], opt.results[t]) << "fiber " << t;
+  }
+  EXPECT_EQ(raw.memory, opt.memory);
+  EXPECT_EQ(raw.commits, opt.commits);
+  EXPECT_EQ(raw.aborts, opt.aborts);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, SchedulerOracle,
+                         ::testing::Values("cgl", "norec", "snorec", "tl2",
+                                           "stl2"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace semstm::tmir
