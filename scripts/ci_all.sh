@@ -2,11 +2,14 @@
 # One-command PR gate: chains every CI stage in cheapest-first order so a
 # broken build fails in seconds, not after the perf suite.
 #
-#   1. tier-1 ctest        (Debug build: functional + conformance suites)
+#   1. tier-1 ctest        (Debug build: functional + conformance suites,
+#                           including the adversarial-schedule litmus suite)
 #   2. ci_lint.sh          (clang-tidy over src/, skipped if not installed)
-#   3. ci_sanitize.sh      (ASan/UBSan + TSan test passes)
-#   4. ci_trace_smoke.sh   (SEMSTM_TRACE build + trace pipeline smoke)
-#   5. ci_perf_smoke.sh    (Release rebuild vs committed perf baselines)
+#   3. ci_sanitize.sh      (ASan/UBSan over the full suite)
+#   4. ci_tsan.sh          (TSan over the real-thread tests; self-skipping
+#                           when the toolchain has no TSan runtime)
+#   5. ci_trace_smoke.sh   (SEMSTM_TRACE build + trace pipeline smoke)
+#   6. ci_perf_smoke.sh    (Release rebuild vs committed perf baselines)
 #
 # Usage: scripts/ci_all.sh
 set -euo pipefail
@@ -14,21 +17,24 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 jobs="$(nproc)"
 
-echo "=== [1/5] build + tier-1 ctest ==="
+echo "=== [1/6] build + tier-1 ctest ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "${jobs}" >/dev/null
 ctest --test-dir build --output-on-failure
 
-echo "=== [2/5] static analysis ==="
+echo "=== [2/6] static analysis ==="
 scripts/ci_lint.sh
 
-echo "=== [3/5] sanitizers ==="
+echo "=== [3/6] address sanitizer ==="
 scripts/ci_sanitize.sh
 
-echo "=== [4/5] trace smoke ==="
+echo "=== [4/6] thread sanitizer ==="
+scripts/ci_tsan.sh
+
+echo "=== [5/6] trace smoke ==="
 scripts/ci_trace_smoke.sh
 
-echo "=== [5/5] perf smoke ==="
+echo "=== [6/6] perf smoke ==="
 scripts/ci_perf_smoke.sh
 
 echo "ci_all: all stages passed"

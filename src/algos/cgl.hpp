@@ -36,7 +36,9 @@ class CglAlgorithm final : public Algorithm {
   bool semantic() const noexcept override { return false; }
   std::unique_ptr<Tx> make_tx() override;
 
-  void lock() noexcept {
+  // Not noexcept: the spin is a yield point, and under a truncating
+  // ScheduleController yield points raise ScheduleStopped.
+  void lock() {
     while (flag_.value.exchange(true, std::memory_order_acquire)) {
       while (flag_.value.load(std::memory_order_relaxed)) sched::spin_pause();
     }
@@ -68,12 +70,14 @@ class CglCore final : public TxCoreBase {
     writes_.clear();
     shared_.lock();
     holding_ = true;
+    sched::sched_point();  // global lock held, body not yet run
   }
 
   void commit() {
     sched::tick(sched::Cost::kCommit);
     for (const WriteEntry& e : writes_) {
       e.addr->store(e.value, std::memory_order_relaxed);
+      sched::sched_point();  // partial write-back under the global lock
     }
     writes_.clear();
     release();

@@ -84,12 +84,14 @@ class NorecCoreT : public TxCoreBase {
     // in practice — tagged for the cause histogram's completeness).
     if (snapshot_ + 2 == 0) abort_tx(obs::AbortCause::kClockOverflow);
     while (!shared_.lock().try_lock(snapshot_)) snapshot_ = validate();
+    sched::sched_point();  // seqlock held (odd), write-back not started
     // Exclusive: write back (increments resolve against current memory).
     for (const WriteEntry& e : writes_) {
       const word_t v = e.kind == WriteKind::kWrite
                            ? e.value
                            : e.addr->load(std::memory_order_relaxed) + e.value;
       e.addr->store(v, std::memory_order_release);
+      sched::sched_point();  // partial write-back visible under odd seqlock
     }
     shared_.lock().unlock(snapshot_ + 1);
     finish();

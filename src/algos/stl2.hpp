@@ -151,6 +151,7 @@ class Stl2Core final : public Tl2CoreT<Stl2Core> {
       return;
     }
     acquire_write_locks();
+    sched::sched_point();  // write orecs locked, clock not yet advanced
     std::uint64_t time;
     for (;;) {
       time = shared_.clock().load();
@@ -167,6 +168,7 @@ class Stl2Core final : public Tl2CoreT<Stl2Core> {
       // Another writer serialized between validation and CAS: its commit
       // may flip a compare outcome, so validate again (lines 68-72).
     }
+    sched::sched_point();  // serialization point taken, write-back pending
     const std::uint64_t wv = time + 1;
     if (time != start_version_ && !readset_holds()) {
       fail_locked(fail_cause_, conflict_);

@@ -82,7 +82,9 @@ class Tl2CoreT : public TxCoreBase {
       return;
     }
     acquire_write_locks();
+    sched::sched_point();  // all write orecs locked, clock not yet bumped
     const std::uint64_t wv = shared_.clock().fetch_increment();
+    sched::sched_point();  // wv drawn; readers may now see wv-readable state
     // A wrapped write version would order *before* every recorded orec
     // version: the clock epoch is over (tagged, though unreachable in any
     // realistic run).
@@ -139,9 +141,11 @@ class Tl2CoreT : public TxCoreBase {
   /// redundant validation — never correctness: validating the same orec
   /// twice is idempotent.
   void track_orec(const Orec* o) {
-    // Orecs are 16-byte slots of one array; >>4 spreads neighbours.
-    const std::size_t slot =
-        (reinterpret_cast<std::uintptr_t>(o) >> 4) & (kSeenSlots - 1);
+    // Keyed by table index, not heap address: index is a function of the
+    // accessed address alone, so cache hits/evictions — and with them the
+    // read-set contents and validation tick counts — replay identically
+    // when the litmus DFS rebuilds the table between schedules.
+    const std::size_t slot = shared_.orecs().index(o) & (kSeenSlots - 1);
     Seen& s = seen_[slot];
     if (s.orec == o && s.epoch == attempt_epoch_) {
       ++stats.readset_dups;
@@ -185,6 +189,7 @@ class Tl2CoreT : public TxCoreBase {
         fail_locked(obs::AbortCause::kWriteLockConflict, e.addr);
       }
       locked_.push_back(&o);
+      sched::sched_point();  // partial lock-set held
     }
   }
 
@@ -196,8 +201,10 @@ class Tl2CoreT : public TxCoreBase {
                            ? e.value
                            : e.addr->load(std::memory_order_relaxed) + e.value;
       e.addr->store(v, std::memory_order_release);
+      sched::sched_point();  // new value visible, orec still locked
     }
     for (Orec* o : locked_) o->version.store(wv, std::memory_order_release);
+    sched::sched_point();  // versions bumped, locks not yet released
     release_locks();
   }
 

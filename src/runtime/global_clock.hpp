@@ -18,7 +18,9 @@ namespace semstm {
 class SeqLock {
  public:
   /// Spin until the value is even (no writer committing) and return it.
-  std::uint64_t sample_even() const noexcept {
+  /// Not noexcept: the spin is a yield point, and under a truncating
+  /// ScheduleController yield points raise ScheduleStopped.
+  std::uint64_t sample_even() const {
     for (;;) {
       const std::uint64_t t = value_.value.load(std::memory_order_acquire);
       if ((t & 1) == 0) return t;

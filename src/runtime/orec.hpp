@@ -49,6 +49,16 @@ struct Orec {
     return expected == tx;
   }
 
+  /// Single-releaser invariant (litmus-audited, tests/test_litmus.cpp orec
+  /// suite): the relaxed owner load is legal because only the lock HOLDER
+  /// ever calls unlock with its own identity — Tl2CoreT tracks every orec
+  /// it locked in locked_ and unlocks exactly that set, and rollback's
+  /// release path walks the same set. So the load either reads this
+  /// thread's own prior try_lock store (same-thread po, no race) and
+  /// matches, or reads some other owner / null and is a no-op. The
+  /// nullptr store stays release: it publishes the written-back values
+  /// and bumped version to the next try_lock's acquire failure-order
+  /// load / locked_by_other's acquire load.
   void unlock(const void* tx) noexcept {
     const void* o = owner.load(std::memory_order_relaxed);
     if (o == tx) owner.store(nullptr, std::memory_order_release);
@@ -72,6 +82,14 @@ class OrecTable {
   }
 
   std::size_t size() const noexcept { return mask_ + 1; }
+
+  /// Slot index of an orec returned by of(). Stable across table
+  /// re-allocations for a fixed accessed address — unlike the orec's heap
+  /// address — which is what deterministic re-execution (the litmus DFS
+  /// re-runs a test against a freshly built table per schedule) hashes on.
+  std::size_t index(const Orec* o) const noexcept {
+    return static_cast<std::size_t>(o - slots_.get());
+  }
 
  private:
   std::size_t mask_;

@@ -51,12 +51,33 @@ class SerialGate {
   /// Normal-transaction entry: wait out any token holder, then register as
   /// in-flight. The add/re-check/undo dance closes the race with a holder
   /// that acquired the token between our check and our registration.
+  ///
+  /// Mutual-quiescence argument (litmus-audited; tests/test_litmus.cpp
+  /// SerialGate suite DFS-enumerates every interleaving of this code
+  /// against acquire()/release()): entry is granted only by the
+  /// `!held()` re-check, which runs strictly AFTER our fetch_add is
+  /// visible (both touch seq_cst-free atomics, but the fetch_add is
+  /// acq_rel RMW and the owner_ load is acquire — on the single
+  /// modification order of each atomic, either our add precedes the
+  /// acquirer's drain read of active_, in which case the acquirer waits
+  /// for our exit(), or the acquirer's owner_ CAS precedes our re-check
+  /// load, in which case we observe held() and undo. Neither side can
+  /// miss the other: there is no window where an enterer is past the
+  /// re-check while the acquirer is past the drain with active_ == 0.
+  /// The sched_point marks the adversarial window (registered but not
+  /// yet re-checked) for the schedule explorer.
   void enter() {
     for (;;) {
       while (held()) sched::spin_pause();
+      sched::sched_point();  // window: observed free, not yet registered —
+                             // an acquirer may CAS AND pass the drain here,
+                             // which is exactly what the re-check below
+                             // exists to catch
       active_.value.fetch_add(1, std::memory_order_acq_rel);
+      sched::sched_point();  // window: registered, holder may CAS now
       if (!held()) return;
       active_.value.fetch_sub(1, std::memory_order_acq_rel);
+      sched::sched_point();  // window: undone, must re-wait
     }
   }
 
@@ -76,13 +97,21 @@ class SerialGate {
       expected = nullptr;
       sched::spin_pause();
     }
+    sched::sched_point();  // window: token taken, drain not yet observed
     while (active_.value.load(std::memory_order_acquire) != 0) {
       sched::spin_pause();
     }
   }
 
   /// Release the token (after the irrevocable commit, or when abandoning
-  /// the transaction via a propagating user exception).
+  /// the transaction via a propagating user exception). The release-store
+  /// publishes every write of the serial section to the next enterer's
+  /// acquire-load in held() — enterers blocked in the spin above resume
+  /// only after observing it. Deliberately NOT a yield point: release runs
+  /// on noexcept cleanup paths (AttemptLoop::release_token/on_exception),
+  /// where a truncating controller's ScheduleStopped would std::terminate.
+  /// The litmus suite explores the pre-release window from the test body
+  /// instead (an explicit sched_point before calling release()).
   void release() noexcept {
     owner_.value.store(nullptr, std::memory_order_release);
   }

@@ -1,0 +1,110 @@
+// ScheduleController: adversarial/scripted scheduling for the virtual
+// scheduler.
+//
+// The default VirtualScheduler policy — always resume the fiber with the
+// minimum virtual clock — yields exactly ONE schedule per seed. That is
+// perfect for reproducible benchmarking and useless for adversarial
+// testing: every seqlock/orec/serial-gate protocol claim quantifies over
+// *all* interleavings, and the min-clock pick only ever exercises one.
+//
+// Installing a controller (VirtualScheduler::run overload) changes the
+// contract:
+//
+//   - EVERY yield point (sched::tick, sched::spin_pause, and the zero-cost
+//     sched::sched_point markers inside commit critical windows) returns
+//     control to the dispatch loop. Jitter is disabled.
+//   - At each step the controller is shown the runnable fibers and picks
+//     which one executes until its next yield point. A schedule is the
+//     sequence of those picks — replayable, enumerable, committable as a
+//     regression test (ScriptedController below).
+//   - A fiber whose last step was a *spin* (sched::spin_pause) is parked:
+//     it is withheld from the controller's choice set until some other
+//     fiber runs a step. Re-running a spinner before anyone else moves
+//     re-observes identical state, so parking loses no behaviours while
+//     making exhaustive DFS over spin-wait protocols finite. If every
+//     runnable fiber is parked, all are offered again (the waits may have
+//     bounded timeouts that must keep counting down).
+//   - The controller may return kStopAll to truncate the run (litmus
+//     exploration uses this to bound schedule length). The scheduler then
+//     raises ScheduleStopped out of every subsequent yield point so each
+//     fiber unwinds through its normal rollback paths, and reports the run
+//     as truncated instead of propagating the exception.
+//
+// The litmus DFS driver built on this hook lives in sched/litmus.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace semstm::sched {
+
+/// One runnable fiber as shown to the controller at a decision point.
+struct RunnableFiber {
+  unsigned tid = 0;
+  std::uint64_t vclock = 0;
+  /// Last step was a spin_pause and no other fiber has run since. Parked
+  /// fibers are normally filtered out of the choice set; the flag is only
+  /// visible when every runnable fiber is parked (forced-unpark round).
+  bool parked = false;
+};
+
+/// Raised out of every yield point once the controller stopped the run;
+/// fibers unwind through their transaction rollback paths. Deliberately
+/// not derived from std::exception: nothing but the scheduler itself may
+/// swallow it.
+struct ScheduleStopped {};
+
+class ScheduleController {
+ public:
+  /// pick() return value requesting truncation of the whole run.
+  static constexpr unsigned kStopAll = ~0u;
+
+  virtual ~ScheduleController() = default;
+
+  /// Choose which fiber runs until its next yield point. `runnable` is
+  /// non-empty and sorted by tid; return one of its tids, or kStopAll.
+  virtual unsigned pick(const std::vector<RunnableFiber>& runnable) = 0;
+};
+
+/// Replays a committed schedule: entry i names the tid to run at the i-th
+/// *branching* decision (two or more fibers offered — forced single-fiber
+/// decisions consume no entry, matching the schedules the litmus explorer
+/// records). Entries naming a fiber that is not currently runnable — or
+/// decisions past the end of the script — fall back to the min-clock pick,
+/// i.e. the scheduler's default policy, which is live by construction. The
+/// fallback makes committed regression schedules robust: a code change
+/// that shifts yield points by a step or two degrades a replay toward the
+/// default schedule instead of failing it.
+class ScriptedController : public ScheduleController {
+ public:
+  explicit ScriptedController(std::vector<unsigned> script)
+      : script_(std::move(script)) {}
+
+  unsigned pick(const std::vector<RunnableFiber>& runnable) override {
+    if (runnable.size() == 1) return runnable.front().tid;  // forced
+    unsigned choice = runnable.front().tid;
+    std::uint64_t best = ~std::uint64_t{0};
+    for (const RunnableFiber& f : runnable) {
+      if (f.vclock < best) {
+        best = f.vclock;
+        choice = f.tid;
+      }
+    }
+    if (next_ < script_.size()) {
+      const unsigned scripted = script_[next_++];
+      for (const RunnableFiber& f : runnable) {
+        if (f.tid == scripted) return scripted;
+      }
+    }
+    return choice;
+  }
+
+  /// Decisions consumed so far (diagnostic).
+  std::size_t consumed() const noexcept { return next_; }
+
+ private:
+  std::vector<unsigned> script_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace semstm::sched

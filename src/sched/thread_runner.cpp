@@ -1,5 +1,7 @@
 #include "sched/thread_runner.hpp"
 
+#include <exception>
+
 #include "util/timing.hpp"
 
 namespace semstm::sched {
@@ -8,13 +10,24 @@ RealResult run_threads(unsigned n, const std::function<void(unsigned)>& body) {
   std::atomic<unsigned> ready{0};
   std::atomic<bool> go{false};
   std::vector<std::thread> threads;
+  // One slot per thread, written only by its owner before joining: no
+  // synchronization needed beyond the join itself.
+  std::vector<std::exception_ptr> errors(n);
   threads.reserve(n);
 
   for (unsigned tid = 0; tid < n; ++tid) {
     threads.emplace_back([&, tid] {
       ready.fetch_add(1, std::memory_order_acq_rel);
       while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
-      body(tid);
+      // An exception escaping a std::thread body is std::terminate — the
+      // whole process dies because one worker threw. Capture it instead;
+      // the first one (in tid order) is rethrown after every thread has
+      // been joined, mirroring VirtualScheduler::run's contract.
+      try {
+        body(tid);
+      } catch (...) {
+        errors[tid] = std::current_exception();
+      }
     });
   }
 
@@ -22,8 +35,12 @@ RealResult run_threads(unsigned n, const std::function<void(unsigned)>& body) {
   Timer timer;
   go.store(true, std::memory_order_release);
   for (auto& t : threads) t.join();
+  RealResult result{timer.seconds()};
 
-  return RealResult{timer.seconds()};
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return result;
 }
 
 }  // namespace semstm::sched

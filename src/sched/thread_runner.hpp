@@ -15,7 +15,9 @@ struct RealResult {
 };
 
 /// Run body(tid) on n OS threads; returns wall time from barrier release
-/// to last join.
+/// to last join. If bodies throw, every thread is still joined and the
+/// first captured exception (in tid order) is rethrown afterwards — same
+/// contract as VirtualScheduler::run.
 RealResult run_threads(unsigned n, const std::function<void(unsigned)>& body);
 
 }  // namespace semstm::sched

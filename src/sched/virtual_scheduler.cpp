@@ -41,6 +41,10 @@ struct VirtualScheduler::Impl : YieldHook {
     std::unique_ptr<char[]> stack;
     std::uint64_t vclock = 0;
     bool done = false;
+    /// Controller mode only: last step was a spin_pause and no other fiber
+    /// has run since — withheld from the choice set (see
+    /// schedule_controller.hpp for the finiteness argument).
+    bool parked = false;
     unsigned tid = 0;
     Rng rng{0};
     ThreadCtx* saved_tls = nullptr;  ///< semstm context parked across switches
@@ -59,6 +63,13 @@ struct VirtualScheduler::Impl : YieldHook {
   std::uint64_t preempt_at = kInfinity;
   const std::function<void(unsigned)>* body = nullptr;
   std::uint64_t switches = 0;
+  /// Adversarial-schedule mode (null = default min-clock policy).
+  ScheduleController* controller = nullptr;
+  /// Set once the controller answered kStopAll: every subsequent yield
+  /// point raises ScheduleStopped so the fibers unwind and finish.
+  bool stopping = false;
+  /// Whether the step that just yielded was a spin_pause (controller mode).
+  bool spin_step = false;
 #ifdef SEMSTM_ASAN_FIBERS
   void* main_fake_stack = nullptr;
   /// Carrier-thread stack bounds, captured at the first fiber entry (ASan
@@ -110,10 +121,28 @@ struct VirtualScheduler::Impl : YieldHook {
     return current != nullptr ? current->vclock : 0;
   }
 
+  /// Controller mode: hand control back to the dispatch loop for the next
+  /// scheduling decision (every yield point is a decision point).
+  void controller_yield(Fiber* f) {
+    if (stopping) throw ScheduleStopped{};
+    ++switches;
+    asan_switch_to_main(*f, /*dying=*/false);
+    swapcontext(&f->ctx, &main_ctx);  // back to the dispatch loop
+    asan_back_on_fiber(*f, /*first=*/false);
+    if (stopping) throw ScheduleStopped{};
+  }
+
   // YieldHook: called from inside the running fiber on every STM op.
   void tick(std::uint64_t cost) override {
     Fiber* f = current;
     assert(f != nullptr);
+    if (controller != nullptr) {
+      // No jitter: a schedule must replay bit-identically from its choice
+      // sequence alone, so costs stay deterministic.
+      f->vclock += cost;
+      controller_yield(f);
+      return;
+    }
     std::uint64_t c = cost;
     if (opts.jitter_pct > 0 && cost > 0) {
       // At least ±1 of spread even for unit costs, so different seeds
@@ -127,6 +156,20 @@ struct VirtualScheduler::Impl : YieldHook {
       swapcontext(&f->ctx, &main_ctx);  // back to the dispatch loop
       asan_back_on_fiber(*f, /*first=*/false);
     }
+  }
+
+  // YieldHook: busy-wait step — a tick that additionally marks the fiber
+  // as not-progressing so the controller's choice set can park it.
+  void spin(std::uint64_t cost) override {
+    if (controller != nullptr) spin_step = true;
+    tick(cost);
+  }
+
+  // YieldHook: zero-cost preemption point inside protocol-critical windows.
+  // Invisible (no clock advance, no switch) outside controller mode.
+  void sched_point() override {
+    if (controller == nullptr) return;
+    controller_yield(current);
   }
 
   static void trampoline();
@@ -152,8 +195,53 @@ struct VirtualScheduler::Impl : YieldHook {
     current = nullptr;
   }
 
-  SimResult run_all(unsigned n, const std::function<void(unsigned)>& b) {
+  /// Controller-mode decision: build the choice set (runnable minus
+  /// parked; everyone when all runnable are parked), consult the
+  /// controller, and return the chosen fiber — or null when the controller
+  /// answered kStopAll (stopping is then set).
+  Fiber* consult_controller(std::vector<RunnableFiber>& choices) {
+    choices.clear();
+    bool any_unparked = false;
+    for (const Fiber& f : fibers) {
+      if (!f.done && !f.parked) any_unparked = true;
+    }
+    // All runnable fibers just spun: offer everyone again (their waits may
+    // be bounded and must keep counting down), flagged as parked.
+    const bool forced = !any_unparked;
+    for (Fiber& f : fibers) {
+      if (f.done) continue;
+      if (forced) f.parked = false;
+      if (!f.parked) choices.push_back({f.tid, f.vclock, forced});
+    }
+    const unsigned tid = controller->pick(choices);
+    if (tid == ScheduleController::kStopAll) {
+      stopping = true;
+      return nullptr;
+    }
+    for (const RunnableFiber& c : choices) {
+      if (c.tid == tid) return &fibers[tid];
+    }
+    throw std::logic_error("ScheduleController picked a non-offered tid");
+  }
+
+  SimResult run_all(unsigned n, const std::function<void(unsigned)>& b,
+                    ScheduleController* ctl) {
     body = &b;
+    controller = ctl;
+    stopping = false;
+    // Recycle stack allocations across runs: the litmus explorer re-runs a
+    // test tens of thousands of times on one scheduler, and a fresh
+    // (zero-initialized) stack per fiber per run dominated its cost.
+    // new[] without () leaves the stack uninitialized — makecontext and
+    // the trampoline initialize everything a fiber actually reads.
+    std::vector<std::unique_ptr<char[]>> stacks;
+    stacks.reserve(n);
+    for (Fiber& f : fibers) {
+      if (stacks.size() < n && f.stack) stacks.push_back(std::move(f.stack));
+    }
+    while (stacks.size() < n) {
+      stacks.emplace_back(new char[opts.stack_bytes]);
+    }
     fibers.clear();
     fibers.resize(n);
     SplitMix64 seeder(opts.seed);
@@ -161,7 +249,7 @@ struct VirtualScheduler::Impl : YieldHook {
       Fiber& f = fibers[i];
       f.tid = i;
       f.rng = Rng(seeder.next());
-      f.stack = std::make_unique<char[]>(opts.stack_bytes);
+      f.stack = std::move(stacks[i]);
       if (getcontext(&f.ctx) != 0) throw std::runtime_error("getcontext");
       f.ctx.uc_stack.ss_sp = f.stack.get();
       f.ctx.uc_stack.ss_size = opts.stack_bytes;
@@ -169,25 +257,58 @@ struct VirtualScheduler::Impl : YieldHook {
       makecontext(&f.ctx, reinterpret_cast<void (*)()>(&Impl::trampoline), 0);
     }
 
+    bool truncated = false;
+    std::vector<RunnableFiber> choices;
     for (;;) {
       Fiber* next = nullptr;
-      for (Fiber& f : fibers) {
-        if (!f.done && (next == nullptr || f.vclock < next->vclock)) {
-          next = &f;
+      if (controller != nullptr && !stopping) {
+        bool any = false;
+        for (const Fiber& f : fibers) any = any || !f.done;
+        if (!any) break;
+        next = consult_controller(choices);
+        if (next == nullptr) {  // kStopAll: drain via min-clock below
+          truncated = true;
+          continue;
+        }
+      } else {
+        for (Fiber& f : fibers) {
+          if (!f.done && (next == nullptr || f.vclock < next->vclock)) {
+            next = &f;
+          }
+        }
+        if (next == nullptr) break;
+      }
+      spin_step = false;
+      enter(*next);
+      if (controller != nullptr && !stopping) {
+        if (spin_step && !next->done) {
+          next->parked = true;  // no progress: must let someone else run
+        } else {
+          for (Fiber& f : fibers) f.parked = false;
         }
       }
-      if (next == nullptr) break;
-      enter(*next);
     }
+    controller = nullptr;
 
     SimResult r;
     r.switches = switches;
+    r.truncated = truncated;
     r.thread_clocks.reserve(n);
+    std::exception_ptr first_error;
     for (Fiber& f : fibers) {
       r.thread_clocks.push_back(f.vclock);
       r.makespan = std::max(r.makespan, f.vclock);
-      if (f.error) std::rethrow_exception(f.error);
+      if (!f.error || first_error) continue;
+      // ScheduleStopped is the truncation mechanism, not a failure: only
+      // genuine body exceptions propagate to the caller.
+      try {
+        std::rethrow_exception(f.error);
+      } catch (const ScheduleStopped&) {
+      } catch (...) {
+        first_error = f.error;
+      }
     }
+    if (first_error) std::rethrow_exception(first_error);
     return r;
   }
 };
@@ -218,8 +339,14 @@ VirtualScheduler::~VirtualScheduler() { delete impl_; }
 
 SimResult VirtualScheduler::run(unsigned n,
                                 const std::function<void(unsigned)>& body) {
+  return run(n, body, nullptr);
+}
+
+SimResult VirtualScheduler::run(unsigned n,
+                                const std::function<void(unsigned)>& body,
+                                ScheduleController* controller) {
   g_bootstrapping = impl_;
-  SimResult r = impl_->run_all(n, body);
+  SimResult r = impl_->run_all(n, body, controller);
   g_bootstrapping = nullptr;
   return r;
 }

@@ -25,6 +25,8 @@
 #include <functional>
 #include <vector>
 
+#include "sched/schedule_controller.hpp"
+
 namespace semstm::sched {
 
 struct SimOptions {
@@ -47,6 +49,9 @@ struct SimResult {
   std::vector<std::uint64_t> thread_clocks;
   /// Total context (fiber) switches — a determinism fingerprint.
   std::uint64_t switches = 0;
+  /// True when a ScheduleController stopped the run (kStopAll) and the
+  /// fibers were unwound via ScheduleStopped instead of completing.
+  bool truncated = false;
 };
 
 class VirtualScheduler {
@@ -60,6 +65,14 @@ class VirtualScheduler {
   /// Run `n` logical threads, each executing body(tid), to completion.
   /// Exceptions thrown by a body are rethrown here after all fibers stop.
   SimResult run(unsigned n, const std::function<void(unsigned)>& body);
+
+  /// Run under a ScheduleController (see sched/schedule_controller.hpp):
+  /// every yield point becomes a scheduling decision delegated to the
+  /// controller, jitter is disabled, and a kStopAll answer truncates the
+  /// run (SimResult::truncated). With controller == nullptr this is the
+  /// plain min-clock run above.
+  SimResult run(unsigned n, const std::function<void(unsigned)>& body,
+                ScheduleController* controller);
 
   /// Implementation detail; public only so the fiber trampoline (a plain
   /// function, required by makecontext) can reach it.

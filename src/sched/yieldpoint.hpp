@@ -37,6 +37,20 @@ class YieldHook {
   virtual ~YieldHook() = default;
   /// Charge `cost` ticks to the current logical thread; may switch fibers.
   virtual void tick(std::uint64_t cost) = 0;
+  /// A busy-wait step. Identical to tick() for the min-clock simulator;
+  /// the schedule-exploration controller (sched/schedule_controller.hpp)
+  /// overrides it to tell *no-progress* spins apart from progress ticks —
+  /// a fiber that just spun is not offered again until some other fiber
+  /// moves, which keeps exhaustive interleaving enumeration finite.
+  virtual void spin(std::uint64_t cost) { tick(cost); }
+  /// A zero-cost preemption point. No-op everywhere except under a
+  /// ScheduleController, where it is one more place the schedule may
+  /// switch threads. The algorithms place these inside commit-time
+  /// critical windows (lock held, write-back in progress) that contain no
+  /// costed ticks, so the litmus harness can interleave *into* them; the
+  /// min-clock simulator and real-thread mode are unaffected (no virtual
+  /// clock advance, so committed perf baselines do not move).
+  virtual void sched_point() {}
   /// The current logical thread's virtual clock, in ticks. Used by the
   /// observability layer (src/obs) so trace timestamps and latency
   /// histograms are deterministic under the simulator; real-thread mode
@@ -59,15 +73,22 @@ inline void tick(std::uint64_t cost = 1) {
 }
 
 /// Polite busy-wait step. Under the simulator this advances virtual time
-/// (so a spinning fiber eventually yields to the lock holder).
+/// (so a spinning fiber eventually yields to the lock holder); under a
+/// ScheduleController it additionally marks the fiber as not-progressing.
 inline void spin_pause() {
   if (auto* h = detail::g_hook) {
-    h->tick(Cost::kSpin);
+    h->spin(Cost::kSpin);
   } else {
 #if defined(__x86_64__) || defined(__i386__)
     __builtin_ia32_pause();
 #endif
   }
+}
+
+/// Zero-cost preemption point (see YieldHook::sched_point). Place inside
+/// protocol-critical windows that contain no costed tick.
+inline void sched_point() {
+  if (auto* h = detail::g_hook) h->sched_point();
 }
 
 }  // namespace semstm::sched

@@ -1,8 +1,16 @@
-// Tests for the fiber-based virtual scheduler (the N-core simulator).
+// Tests for the fiber-based virtual scheduler (the N-core simulator), the
+// ScheduleController adversarial-scheduling hook, the litmus DFS explorer,
+// and the real-thread runner.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "sched/litmus.hpp"
+#include "sched/schedule_controller.hpp"
+#include "sched/thread_runner.hpp"
 #include "sched/virtual_scheduler.hpp"
 #include "sched/yieldpoint.hpp"
 
@@ -125,6 +133,255 @@ TEST(VirtualScheduler, HookClearedOutsideRun) {
   sim.run(1, [&](unsigned) { tick(1); });
   EXPECT_EQ(hook(), nullptr);
   tick(5);  // must be a harmless no-op in real mode
+}
+
+// ---------------------------------------------------------------------------
+// ScheduleController: adversarial/scripted scheduling.
+// ---------------------------------------------------------------------------
+
+/// Records every decision's choice set; picks the highest-tid fiber — the
+/// opposite of the min-clock default, so controller control is observable.
+class MaxTidController final : public ScheduleController {
+ public:
+  unsigned pick(const std::vector<RunnableFiber>& runnable) override {
+    fanouts.push_back(static_cast<unsigned>(runnable.size()));
+    return runnable.back().tid;
+  }
+  std::vector<unsigned> fanouts;
+};
+
+TEST(ScheduleController, DrivesEveryYieldPoint) {
+  VirtualScheduler sim;
+  MaxTidController ctl;
+  std::vector<unsigned> trace;
+  const SimResult r = sim.run(
+      2,
+      [&](unsigned tid) {
+        for (int i = 0; i < 3; ++i) {
+          trace.push_back(tid);
+          tick(1);
+        }
+      },
+      &ctl);
+  EXPECT_FALSE(r.truncated);
+  // Max-tid policy: fiber 1 runs all its steps before fiber 0 gets a turn.
+  const std::vector<unsigned> expected{1, 1, 1, 0, 0, 0};
+  EXPECT_EQ(trace, expected);
+  // Every tick was a decision; decisions while both live offered 2 fibers.
+  ASSERT_GE(ctl.fanouts.size(), 4u);
+  EXPECT_EQ(ctl.fanouts.front(), 2u);
+}
+
+TEST(ScheduleController, ControllerModeDisablesJitterCosts) {
+  // Costs must be exact (no jitter) so schedules replay bit-identically.
+  VirtualScheduler sim(SimOptions{.seed = 9, .jitter_pct = 50});
+  MaxTidController ctl;
+  const SimResult r = sim.run(
+      2, [&](unsigned) { for (int i = 0; i < 10; ++i) tick(3); }, &ctl);
+  ASSERT_EQ(r.thread_clocks.size(), 2u);
+  EXPECT_EQ(r.thread_clocks[0], 30u);
+  EXPECT_EQ(r.thread_clocks[1], 30u);
+}
+
+TEST(ScheduleController, ScriptedReplayFollowsScript) {
+  // Script: at the first two branching decisions run fiber 1, then fall
+  // back to min-clock. Entries past the script or naming non-runnable
+  // fibers must degrade, not fail.
+  std::vector<unsigned> trace;
+  auto body = [&](unsigned tid) {
+    for (int i = 0; i < 2; ++i) {
+      trace.push_back(tid);
+      tick(1);
+    }
+  };
+  VirtualScheduler sim;
+  ScriptedController ctl({1, 1, 7, 0});  // 7 never exists: fallback
+  sim.run(2, body, &ctl);
+  ASSERT_GE(trace.size(), 3u);
+  EXPECT_EQ(trace[0], 1u);
+  EXPECT_EQ(trace[1], 1u);
+  EXPECT_EQ(trace[2], 0u);  // fiber 1 done: forced + fallback decisions
+}
+
+TEST(ScheduleController, SpinParkingWithholdsSpinners) {
+  // Fiber 0 spins on a flag fiber 1 sets. Under a first-choice (min-tid)
+  // controller with parking, each spin of fiber 0 must hand control to
+  // fiber 1 instead of re-offering the spinner — so the run terminates.
+  class FirstChoice final : public ScheduleController {
+   public:
+    unsigned pick(const std::vector<RunnableFiber>& runnable) override {
+      ++decisions;
+      return runnable.front().tid;
+    }
+    std::uint64_t decisions = 0;
+  };
+  VirtualScheduler sim;
+  FirstChoice ctl;
+  bool flag = false;
+  const SimResult r = sim.run(
+      2,
+      [&](unsigned tid) {
+        if (tid == 0) {
+          while (!flag) spin_pause();
+        } else {
+          for (int i = 0; i < 5; ++i) tick(1);
+          flag = true;
+        }
+      },
+      &ctl);
+  EXPECT_FALSE(r.truncated);
+  EXPECT_TRUE(flag);
+  EXPECT_LT(ctl.decisions, 100u) << "spinner was re-offered unboundedly";
+}
+
+TEST(ScheduleController, StopAllTruncatesAndUnwindsCleanly) {
+  class StopAfter final : public ScheduleController {
+   public:
+    explicit StopAfter(std::uint64_t n) : n_(n) {}
+    unsigned pick(const std::vector<RunnableFiber>& runnable) override {
+      if (++steps_ > n_) return kStopAll;
+      return runnable.front().tid;
+    }
+
+   private:
+    std::uint64_t n_;
+    std::uint64_t steps_ = 0;
+  };
+  struct Guard {  // observes that truncation unwinds fiber stacks
+    int& unwound;
+    ~Guard() { ++unwound; }
+  };
+  VirtualScheduler sim;
+  StopAfter ctl(3);
+  int unwound = 0;
+  int completed = 0;
+  const SimResult r = sim.run(
+      2,
+      [&](unsigned) {
+        Guard g{unwound};
+        for (int i = 0; i < 100; ++i) tick(1);
+        ++completed;
+      },
+      &ctl);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_EQ(unwound, 2) << "a truncated fiber did not unwind its stack";
+  EXPECT_EQ(completed, 0);
+}
+
+TEST(ScheduleController, BogusPickIsALogicError) {
+  class Bogus final : public ScheduleController {
+   public:
+    unsigned pick(const std::vector<RunnableFiber>&) override { return 42; }
+  };
+  VirtualScheduler sim;
+  Bogus ctl;
+  EXPECT_THROW(sim.run(2, [&](unsigned) { tick(1); }, &ctl), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Litmus DFS explorer, on plain (non-TM) fiber programs.
+// ---------------------------------------------------------------------------
+
+/// Non-transactional store buffering: x = 1; r0 = y || y = 1; r1 = x.
+/// On the sequentially-consistent fiber simulator (0,0) is unreachable,
+/// and the other three outcomes must all be enumerated.
+class PlainSb final : public LitmusTest {
+ public:
+  unsigned threads() const override { return 2; }
+  void reset() override { x_ = y_ = 0, r0_ = r1_ = -1; }
+  void thread(unsigned tid) override {
+    if (tid == 0) {
+      x_ = 1;
+      sched::sched_point();
+      r0_ = y_;
+    } else {
+      y_ = 1;
+      sched::sched_point();
+      r1_ = x_;
+    }
+    tick(1);
+  }
+  std::string outcome() override {
+    return std::to_string(r0_) + std::to_string(r1_);
+  }
+
+ private:
+  int x_ = 0, y_ = 0, r0_ = -1, r1_ = -1;
+};
+
+TEST(LitmusExplore, EnumeratesAllInterleavings) {
+  PlainSb test;
+  const ExploreResult r = explore(test);
+  EXPECT_TRUE(r.exhaustive);
+  EXPECT_EQ(r.truncated, 0u);
+  EXPECT_GT(r.schedules, 1u);
+  EXPECT_EQ(r.outcome_set(), (std::vector<std::string>{"01", "10", "11"}))
+      << "either an interleaving was missed or SC was violated";
+}
+
+TEST(LitmusExplore, WitnessSchedulesReplayTheirOutcome) {
+  PlainSb test;
+  const ExploreResult r = explore(test);
+  for (const auto& [outcome, witness] : r.outcomes) {
+    EXPECT_EQ(replay(test, witness.schedule), outcome);
+  }
+}
+
+TEST(LitmusExplore, StepBudgetTruncatesInsteadOfHanging) {
+  // An unbounded test (a fiber that never finishes) must come back as
+  // truncated schedules, not an infinite loop.
+  class Endless final : public LitmusTest {
+   public:
+    unsigned threads() const override { return 2; }
+    void reset() override {}
+    void thread(unsigned tid) override {
+      if (tid == 0) {
+        for (;;) tick(1);  // never terminates
+      }
+      tick(1);
+    }
+    std::string outcome() override { return "unreachable"; }
+  };
+  Endless test;
+  ExploreOptions opts;
+  opts.max_steps = 50;
+  opts.max_schedules = 20;
+  const ExploreResult bounded = explore(test, opts);
+  EXPECT_FALSE(bounded.exhaustive);
+  EXPECT_GT(bounded.truncated, 0u);
+  EXPECT_LE(bounded.schedules + bounded.truncated, 20u);
+}
+
+// ---------------------------------------------------------------------------
+// run_threads: real-OS-thread execution.
+// ---------------------------------------------------------------------------
+
+TEST(RunThreads, PropagatesBodyExceptionAfterJoiningAll_real) {
+  // A throwing body used to std::terminate the whole process (exception
+  // escaping a std::thread). Now: every thread joins, then the first
+  // error (in tid order) is rethrown.
+  std::atomic<unsigned> finished{0};
+  struct Boom {
+    unsigned tid;
+  };
+  try {
+    run_threads(4, [&](unsigned tid) {
+      if (tid == 1 || tid == 3) throw Boom{tid};
+      finished.fetch_add(1, std::memory_order_relaxed);
+    });
+    FAIL() << "expected Boom";
+  } catch (const Boom& b) {
+    EXPECT_EQ(b.tid, 1u) << "first error in tid order must win";
+  }
+  EXPECT_EQ(finished.load(), 2u) << "non-throwing threads must still run";
+}
+
+TEST(RunThreads, ReturnsNormallyWhenNoBodyThrows_real) {
+  std::atomic<unsigned> ran{0};
+  const RealResult r = run_threads(
+      3, [&](unsigned) { ran.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(ran.load(), 3u);
+  EXPECT_GE(r.seconds, 0.0);
 }
 
 }  // namespace
