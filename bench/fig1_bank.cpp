@@ -1,4 +1,9 @@
 // Figures 1c/1d: Bank throughput and abort rate.
+//
+// --hot-accounts N / --hot-pct P add Zipfian-style skew (P% of account
+// picks land in the first N accounts) — the contention-cartography
+// testbed: with skew on and --metrics-out set, the tm_top hot-site
+// ranking should be dominated by the hot accounts' words.
 #include "bench/figure_common.hpp"
 #include "workloads/bank.hpp"
 
@@ -11,8 +16,17 @@ int main(int argc, char** argv) {
   spec.threads = {1, 2, 4, 8, 12, 16, 20, 24};
   spec.ops_per_thread = 600;
   bench::apply_cli(spec, cli);
-  bench::run_figure(spec, [](bool semantic) {
-    return std::make_unique<BankWorkload>(BankWorkload::Params{}, semantic);
+  BankWorkload::Params params;
+  params.hot_accounts = static_cast<std::size_t>(cli.get_int("hot-accounts", 0));
+  params.hot_pct = static_cast<unsigned>(cli.get_int("hot-pct", 0));
+  if (params.hot_accounts > params.accounts || params.hot_pct > 100) {
+    std::fprintf(stderr,
+                 "error: --hot-accounts must be <= %zu and --hot-pct <= 100\n",
+                 params.accounts);
+    return 2;
+  }
+  bench::run_figure(spec, [&](bool semantic) {
+    return std::make_unique<BankWorkload>(params, semantic);
   });
   return 0;
 }

@@ -21,6 +21,7 @@
 
 #include "obs/abort_cause.hpp"
 #include "obs/clock.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace_export.hpp"
 #include "util/cli.hpp"
 #include "workloads/driver.hpp"
@@ -53,6 +54,13 @@ struct FigureSpec {
   /// as the trailing "# JSON {...}" line) is also written to this file —
   /// the hook scripts/bench_baseline.sh uses to commit BENCH_*.json.
   std::string json_out;
+  /// When non-empty (--metrics-out out.jsonl), every (series ×
+  /// thread-count) run collects windowed metrics + hot sites and appends
+  /// them as JSON-lines here (obs::MetricsWriter schema; rendered by
+  /// examples/tm_top). Requires -DSEMSTM_TRACE=ON to carry data.
+  std::string metrics_path;
+  /// Metrics window width in obs clock units (--metrics-window).
+  std::uint64_t metrics_window = std::uint64_t{1} << 14;
   std::vector<AlgoConfig> series = {
       {"norec", false, "NOrec"},
       {"snorec", true, "S-NOrec"},
@@ -77,10 +85,23 @@ inline void apply_cli(FigureSpec& spec, const Cli& cli) {
       cli.get_int("retry-limit", static_cast<std::int64_t>(spec.retry_limit)));
   spec.trace_path = cli.get("trace", spec.trace_path);
   spec.json_out = cli.get("json-out", spec.json_out);
+  spec.metrics_path = cli.get("metrics-out", spec.metrics_path);
+  spec.metrics_window = static_cast<std::uint64_t>(cli.get_int(
+      "metrics-window", static_cast<std::int64_t>(spec.metrics_window)));
+  if (spec.metrics_window == 0) {
+    std::fprintf(stderr, "error: --metrics-window must be positive\n");
+    std::exit(2);
+  }
   if (!spec.trace_path.empty() && !obs::kTraceEnabled) {
     std::fprintf(stderr,
                  "warning: --trace requested but this binary was built "
                  "without -DSEMSTM_TRACE=ON; the trace will be empty\n");
+  }
+  if (!spec.metrics_path.empty() && !obs::kTraceEnabled) {
+    std::fprintf(stderr,
+                 "warning: --metrics-out requested but this binary was built "
+                 "without -DSEMSTM_TRACE=ON; windows and hot sites will be "
+                 "empty\n");
   }
   // Fail fast with a usable message; otherwise the bad name surfaces as a
   // terminate() from make_contention_manager deep inside the first run.
@@ -102,15 +123,23 @@ struct SeriesPoint {
   double metric_value;  // throughput (commits/Mtick) or time (Mticks)
   double abort_pct;
   TxStats stats;        // full counters for the JSON summary
+  std::uint64_t trace_dropped = 0;  // trace-ring drops (traced runs only)
+  std::uint64_t conflict_overflow = 0;
+  std::size_t windows = 0;          // metrics windows recorded for this run
+  std::vector<obs::ConflictMap::Site> hot_sites;  // run-level top-K
 };
 
 /// The machine-readable summary, written either as the trailing
 /// "# JSON {...}" stdout line or verbatim into --json-out's file.
 inline void emit_json_summary(std::FILE* out, const FigureSpec& spec,
                               const std::vector<std::vector<SeriesPoint>>& table) {
-  std::fprintf(out, "{\"figure\":\"%s\",\"metric\":\"%s\",\"cm\":\"%s\","
-               "\"retry_limit\":%llu,\"series\":[",
-               spec.name.c_str(), spec.metric.c_str(), spec.cm.c_str(),
+  // `units` labels every tick-denominated field below (latency percentiles,
+  // trace timestamps, metrics windows): virtual ticks in sim mode,
+  // steady-clock nanoseconds under real threads.
+  std::fprintf(out, "{\"figure\":\"%s\",\"metric\":\"%s\",\"units\":\"%s\","
+               "\"cm\":\"%s\",\"retry_limit\":%llu,\"series\":[",
+               spec.name.c_str(), spec.metric.c_str(),
+               spec.mode == ExecMode::kSim ? "ticks" : "ns", spec.cm.c_str(),
                static_cast<unsigned long long>(spec.retry_limit));
   for (std::size_t s = 0; s < spec.series.size(); ++s) {
     std::fprintf(out, "%s{\"label\":\"%s\",\"algo\":\"%s\",\"points\":[",
@@ -151,7 +180,7 @@ inline void emit_json_summary(std::FILE* out, const FigureSpec& spec,
           "},\"commit_p50\":%llu,\"commit_p99\":%llu,"
           "\"validate_p50\":%llu,\"validate_p99\":%llu,"
           "\"backoff_p50\":%llu,\"backoff_p99\":%llu,"
-          "\"gate_p50\":%llu,\"gate_p99\":%llu}",
+          "\"gate_p50\":%llu,\"gate_p99\":%llu",
           static_cast<unsigned long long>(st.lat_commit.percentile(50)),
           static_cast<unsigned long long>(st.lat_commit.percentile(99)),
           static_cast<unsigned long long>(st.lat_validate.percentile(50)),
@@ -160,6 +189,32 @@ inline void emit_json_summary(std::FILE* out, const FigureSpec& spec,
           static_cast<unsigned long long>(st.lat_backoff.percentile(99)),
           static_cast<unsigned long long>(st.lat_gate.percentile(50)),
           static_cast<unsigned long long>(st.lat_gate.percentile(99)));
+      // Contention cartography (all-zero/empty without -DSEMSTM_TRACE=ON;
+      // schema stable either way). trace_dropped makes ring exhaustion a
+      // machine-checkable condition instead of a flame-summary footnote.
+      std::fprintf(out,
+                   ",\"trace_dropped\":%llu,\"conflict_overflow\":%llu,"
+                   "\"windows\":%zu,\"hot_sites\":[",
+                   static_cast<unsigned long long>(p.trace_dropped),
+                   static_cast<unsigned long long>(p.conflict_overflow),
+                   p.windows);
+      for (std::size_t h = 0; h < p.hot_sites.size(); ++h) {
+        const obs::ConflictMap::Site& site = p.hot_sites[h];
+        std::fprintf(out, "%s{\"addr\":\"%p\",\"orec\":", h == 0 ? "" : ",",
+                     site.addr);
+        if (site.orec == obs::kNoOrec) {
+          std::fprintf(out, "null");
+        } else {
+          std::fprintf(out, "%llu",
+                       static_cast<unsigned long long>(site.orec));
+        }
+        std::fprintf(out,
+                     ",\"total\":%llu,\"edges\":%llu,\"top_cause\":\"%s\"}",
+                     static_cast<unsigned long long>(site.total()),
+                     static_cast<unsigned long long>(site.edges),
+                     obs::abort_cause_name(site.top_cause()));
+      }
+      std::fprintf(out, "]}");
     }
     std::fprintf(out, "]}");
   }
@@ -178,6 +233,15 @@ inline void run_figure(const FigureSpec& spec, const WorkloadFactory& make) {
   std::vector<std::vector<SeriesPoint>> table(
       spec.series.size(), std::vector<SeriesPoint>(spec.threads.size()));
   obs::TraceExporter exporter;
+  std::unique_ptr<obs::MetricsWriter> metrics_writer;
+  if (!spec.metrics_path.empty()) {
+    metrics_writer = std::make_unique<obs::MetricsWriter>(spec.metrics_path);
+    if (!metrics_writer->ok()) {
+      std::fprintf(stderr, "error: cannot open --metrics-out file %s\n",
+                   spec.metrics_path.c_str());
+      std::exit(2);
+    }
+  }
 
   for (std::size_t s = 0; s < spec.series.size(); ++s) {
     for (std::size_t t = 0; t < spec.threads.size(); ++t) {
@@ -199,17 +263,26 @@ inline void run_figure(const FigureSpec& spec, const WorkloadFactory& make) {
       cfg.retry_limit = spec.retry_limit;
       obs::TraceCollector collector;
       if (!spec.trace_path.empty()) cfg.trace = &collector;
+      obs::MetricsCollector metrics(spec.metrics_window);
+      if (metrics_writer != nullptr) cfg.metrics = &metrics;
       auto w = make(spec.series[s].semantic_build);
       const RunResult r = run_workload(cfg, *w);
       w->verify();
-      if (cfg.trace != nullptr) {
-        exporter.add_run(
-            spec.series[s].label + "/" + std::to_string(threads) + "t",
-            collector);
+      const std::string run_label =
+          spec.series[s].label + "/" + std::to_string(threads) + "t";
+      if (cfg.trace != nullptr) exporter.add_run(run_label, collector);
+      if (metrics_writer != nullptr) {
+        metrics_writer->add_run(run_label, r.units, spec.metrics_window,
+                                threads, r.windows, r.hot_sites,
+                                r.conflict_overflow);
       }
       SeriesPoint& p = table[s][t];
       p.abort_pct = r.abort_pct;
       p.stats = r.stats;
+      if (cfg.trace != nullptr) p.trace_dropped = collector.dropped();
+      p.conflict_overflow = r.conflict_overflow;
+      p.windows = r.windows.size();
+      p.hot_sites = r.hot_sites;
       if (spec.metric == "time") {
         // Completion time of the fixed total work, in mega-ticks (sim) or
         // seconds (real) — lower is better, like the paper's STAMP plots.
@@ -306,6 +379,17 @@ inline void run_figure(const FigureSpec& spec, const WorkloadFactory& make) {
     emit_json_summary(f, spec, table);
     std::fclose(f);
     std::printf("# json summary -> %s\n", spec.json_out.c_str());
+  }
+
+  if (metrics_writer != nullptr) {
+    if (metrics_writer->close()) {
+      std::printf("# metrics -> %s (render with tm_top --in %s)\n",
+                  spec.metrics_path.c_str(), spec.metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: failed to write metrics to %s\n",
+                   spec.metrics_path.c_str());
+      std::exit(2);
+    }
   }
 
   if (!spec.trace_path.empty()) {

@@ -7,6 +7,7 @@
 // prints what happened.
 #include <cstdio>
 
+#include "obs/report.hpp"
 #include "semstm.hpp"
 #include "util/cli.hpp"
 
@@ -63,5 +64,13 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(s.writes),
       static_cast<unsigned long long>(s.compares),
       static_cast<unsigned long long>(s.increments));
+
+  // 7. Contention cartography: which locations this descriptor aborted
+  //    over, via the public reporting API (obs/report.hpp). Single-threaded
+  //    and conflict-free here — and empty in non-SEMSTM_TRACE builds — so
+  //    this prints the truthful "none recorded" line; run a fig1 bench with
+  //    --metrics-out and render it with tm_top for the real thing.
+  const auto hot = obs::top_sites(ctx.tx->conflict_map(), 5);
+  std::fputs(obs::render_hot_sites(hot).c_str(), stdout);
   return 0;
 }

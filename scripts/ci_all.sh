@@ -8,8 +8,11 @@
 #   3. ci_sanitize.sh      (ASan/UBSan over the full suite)
 #   4. ci_tsan.sh          (TSan over the real-thread tests; self-skipping
 #                           when the toolchain has no TSan runtime)
-#   5. ci_trace_smoke.sh   (SEMSTM_TRACE build + trace pipeline smoke)
-#   6. ci_perf_smoke.sh    (Release rebuild vs committed perf baselines)
+#   5. ci_trace_smoke.sh   (SEMSTM_TRACE build + trace pipeline smoke,
+#                           including drop-free trace-ring accounting)
+#   6. ci_metrics_smoke.sh (windowed metrics + hot-site pipeline: JSON-lines
+#                           schema, tm_top exit-status contract)
+#   7. ci_perf_smoke.sh    (Release rebuild vs committed perf baselines)
 #
 # Usage: scripts/ci_all.sh
 set -euo pipefail
@@ -17,24 +20,27 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 jobs="$(nproc)"
 
-echo "=== [1/6] build + tier-1 ctest ==="
+echo "=== [1/7] build + tier-1 ctest ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "${jobs}" >/dev/null
 ctest --test-dir build --output-on-failure
 
-echo "=== [2/6] static analysis ==="
+echo "=== [2/7] static analysis ==="
 scripts/ci_lint.sh
 
-echo "=== [3/6] address sanitizer ==="
+echo "=== [3/7] address sanitizer ==="
 scripts/ci_sanitize.sh
 
-echo "=== [4/6] thread sanitizer ==="
+echo "=== [4/7] thread sanitizer ==="
 scripts/ci_tsan.sh
 
-echo "=== [5/6] trace smoke ==="
+echo "=== [5/7] trace smoke ==="
 scripts/ci_trace_smoke.sh
 
-echo "=== [6/6] perf smoke ==="
+echo "=== [6/7] metrics smoke ==="
+scripts/ci_metrics_smoke.sh
+
+echo "=== [7/7] perf smoke ==="
 scripts/ci_perf_smoke.sh
 
 echo "ci_all: all stages passed"

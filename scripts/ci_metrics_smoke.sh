@@ -1,0 +1,145 @@
+#!/usr/bin/env bash
+# Contention-cartography CI: a -DSEMSTM_TRACE=ON build, the metrics unit
+# suite (whose end-to-end cartography tests only run under the gate), a
+# hot-skewed fig1 bank run with --metrics-out, strict validation of the
+# JSON-lines schema that run produced (line-by-line parse, field presence,
+# per-window accounting, declared-vs-actual counts), the tm_top renderer's
+# exit-status contract (0 on the real file, 1 on a schema-invalid file,
+# 2 on a missing file / missing --in), and hot-site sanity in the bench
+# summary: with 90% of picks on 2 of 1024 accounts, every contended series
+# must rank at least one site, in descending order.
+#
+# Usage: scripts/ci_metrics_smoke.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="${1:-$(nproc)}"
+build_dir=build-trace
+metrics_jsonl="${build_dir}/bank_metrics.jsonl"
+summary_json="${build_dir}/bank_metrics_summary.json"
+
+echo "=== SEMSTM_TRACE=ON build ==="
+cmake -B "${build_dir}" -S . -DSEMSTM_TRACE=ON
+cmake --build "${build_dir}" -j "${jobs}" --target test_metrics fig1_bank tm_top
+
+echo "=== metrics unit suite (traced) ==="
+"${build_dir}/tests/test_metrics"
+
+echo "=== hot-skewed benchmark run with --metrics-out ==="
+"${build_dir}/bench/fig1_bank" --threads 2,4 --ops 300 \
+    --hot-accounts 2 --hot-pct 90 \
+    --metrics-out "${metrics_jsonl}" --json-out "${summary_json}" \
+    > "${build_dir}/bank_metrics.out"
+grep '^# metrics' "${build_dir}/bank_metrics.out"
+
+echo "=== JSON-lines schema validation ==="
+python3 - "${metrics_jsonl}" <<'EOF'
+import json
+import sys
+
+runs = []          # [run-object]
+windows = []       # [(run-label, window-object)]
+hot_sites = []     # [(run-label, hot-site-object)]
+with open(sys.argv[1]) as f:
+    for n, line in enumerate(f, 1):
+        obj = json.loads(line)  # every line must parse on its own
+        kind = obj["type"]
+        if kind == "run":
+            for field in ("label", "units", "window_ticks", "threads",
+                          "windows", "hot_sites", "conflict_overflow"):
+                assert field in obj, f"line {n}: run missing {field!r}"
+            assert obj["units"] in ("ticks", "ns"), f"line {n}: bad units"
+            runs.append(obj)
+        elif kind == "window":
+            assert runs, f"line {n}: window before any run line"
+            for field in ("window", "t0", "t1", "starts", "commits",
+                          "aborts", "abort_pct", "throughput",
+                          "commit_p50", "commit_p99", "causes"):
+                assert field in obj, f"line {n}: window missing {field!r}"
+            assert obj["t1"] > obj["t0"], f"line {n}: empty window span"
+            assert obj["starts"] >= obj["commits"] + obj["aborts"], \
+                f"line {n}: starts < commits + aborts"
+            assert sum(obj["causes"].values()) == obj["aborts"], \
+                f"line {n}: cause mix does not sum to aborts"
+            windows.append((obj["run"], obj))
+        elif kind == "hot_site":
+            assert runs, f"line {n}: hot_site before any run line"
+            for field in ("rank", "addr", "orec", "total", "edges",
+                          "top_cause", "causes"):
+                assert field in obj, f"line {n}: hot_site missing {field!r}"
+            assert obj["total"] > 0, f"line {n}: empty hot site recorded"
+            hot_sites.append((obj["run"], obj))
+        else:
+            raise AssertionError(f"line {n}: unknown type {kind!r}")
+
+assert runs, "no run lines emitted"
+
+# Declared counts must match what each run actually carries, windows must
+# be strictly ordered, and hot sites ranked 1..N by descending total.
+for run in runs:
+    label = run["label"]
+    w = [o for (r, o) in windows if r == label]
+    h = [o for (r, o) in hot_sites if r == label]
+    assert len(w) == run["windows"], \
+        f"{label}: declared {run['windows']} windows, found {len(w)}"
+    assert len(h) == run["hot_sites"], \
+        f"{label}: declared {run['hot_sites']} hot sites, found {len(h)}"
+    idx = [o["window"] for o in w]
+    assert idx == sorted(idx) and len(set(idx)) == len(idx), \
+        f"{label}: window indices not strictly increasing"
+    assert [o["rank"] for o in h] == list(range(1, len(h) + 1)), \
+        f"{label}: hot-site ranks not 1..N"
+    totals = [o["total"] for o in h]
+    assert totals == sorted(totals, reverse=True), \
+        f"{label}: hot sites not ranked by descending total"
+
+assert any(r["windows"] > 0 for r in runs), "no run produced any window"
+print(f"OK: {len(runs)} runs, {len(windows)} windows, "
+      f"{len(hot_sites)} hot sites")
+EOF
+
+echo "=== hot-site sanity in bench summary ==="
+python3 - "${summary_json}" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+assert doc["units"] == "ticks", "sim-mode bench must report tick units"
+checked = 0
+for series in doc["series"]:
+    for p in series["points"]:
+        if p["aborts"] == 0:
+            continue  # cgl never aborts; its map stays empty by design
+        sites = p["hot_sites"]
+        assert sites, (
+            f"{series['label']}/{p['threads']}t aborted "
+            f"{p['aborts']} times but ranked no hot site")
+        totals = [s["total"] for s in sites]
+        assert totals == sorted(totals, reverse=True), \
+            f"{series['label']}/{p['threads']}t: ranking not descending"
+        checked += 1
+assert checked > 0, "no contended point found (rig produced no aborts)"
+print(f"OK: hot-site rankings present on {checked} contended points")
+EOF
+
+echo "=== tm_top exit-status contract ==="
+"${build_dir}/examples/tm_top" --in "${metrics_jsonl}" \
+    > "${build_dir}/tm_top.out"
+test -s "${build_dir}/tm_top.out"
+head -n 4 "${build_dir}/tm_top.out"
+
+rc=0; "${build_dir}/examples/tm_top" --in "${build_dir}/no_such.jsonl" \
+    2>/dev/null || rc=$?
+[ "${rc}" -eq 2 ] || { echo "missing file: want exit 2, got ${rc}"; exit 1; }
+
+rc=0; "${build_dir}/examples/tm_top" 2>/dev/null || rc=$?
+[ "${rc}" -eq 2 ] || { echo "missing --in: want exit 2, got ${rc}"; exit 1; }
+
+echo '{"type":"window","window":0}' > "${build_dir}/invalid_metrics.jsonl"
+rc=0; "${build_dir}/examples/tm_top" --in "${build_dir}/invalid_metrics.jsonl" \
+    2>/dev/null || rc=$?
+[ "${rc}" -eq 1 ] || { echo "invalid file: want exit 1, got ${rc}"; exit 1; }
+
+echo "=== metrics smoke passed ==="

@@ -4,7 +4,9 @@
 # obs unit suite — whose end-to-end test only runs under the gate — and a
 # traced benchmark whose Chrome JSON output is validated: it must parse,
 # carry at least one event for every logical thread of a run, and attribute
-# every abort to a real cause (never "unknown").
+# every abort to a real cause (never "unknown"). The bench's own JSON
+# summary is checked too: any point with trace_dropped != 0 fails the stage
+# (ring exhaustion means the trace under validation is incomplete).
 #
 # Usage: scripts/ci_trace_smoke.sh [jobs]
 set -euo pipefail
@@ -23,8 +25,26 @@ echo "=== obs unit suite (traced) ==="
 
 echo "=== traced benchmark run ==="
 "${build_dir}/bench/fig1_bank" --threads 2,4 --ops 300 \
-    --trace "${trace_json}" > "${build_dir}/bank_trace.out"
+    --trace "${trace_json}" --json-out "${build_dir}/bank_trace_summary.json" \
+    > "${build_dir}/bank_trace.out"
 grep '^# trace:' "${build_dir}/bank_trace.out"
+
+echo "=== trace-drop accounting ==="
+python3 - "${build_dir}/bank_trace_summary.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+points = [p for s in doc["series"] for p in s["points"]]
+assert points, "bench summary contains no points"
+dropped = [(s["label"], p["threads"], p["trace_dropped"])
+           for s in doc["series"] for p in s["points"]
+           if p["trace_dropped"] != 0]
+assert not dropped, f"trace ring dropped events: {dropped}"
+print(f"OK: trace_dropped == 0 across {len(points)} points")
+EOF
 
 echo "=== trace JSON validation ==="
 python3 - "${trace_json}" <<'EOF'

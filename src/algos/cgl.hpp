@@ -14,7 +14,12 @@
 // Observability: CGL never conflict-aborts, so the only abort cause it can
 // ever contribute to the TxStats cause histogram is kUserAbort (an explicit
 // user_abort() inside the body, tagged by core/tx.hpp). Its lat_validate
-// histogram stays empty — there is nothing to validate.
+// histogram stays empty — there is nothing to validate. The same holds for
+// contention cartography (obs/conflict_map.hpp): user aborts carry no
+// conflicting location, so a CGL descriptor's ConflictMap is always empty —
+// a useful negative control when comparing hot-site tables across
+// algorithms (contention under CGL is queueing on the one lock, which the
+// windowed metrics expose as throughput, not as conflict sites).
 //
 // CglCore is a sealed non-virtual descriptor (DESIGN.md §4.12); the
 // type-erased tier is TxFacade<CglCore>.

@@ -137,6 +137,13 @@ class NorecCoreT : public TxCoreBase {
   /// entry means the relation's outcome flipped — the distinction S-NOrec's
   /// evaluation story rests on.
   ///
+  /// Conflict cartography: the abort carries only the clause's address —
+  /// NOrec detects conflicts by value under a single global seqlock, so
+  /// there is no orec index and no owner identity to report (the writer
+  /// already committed and is gone). The conflict map therefore keys these
+  /// sites by address region (obs/conflict_map.hpp), never by orec, and
+  /// NOrec-family hot sites carry no aborter->owner edges by construction.
+  ///
   /// Out of line: read_valid() inlines into every read in the monomorphized
   /// tier, and this slow path (taken only when a writer committed since the
   /// snapshot) would drag its nested loops into each read site.

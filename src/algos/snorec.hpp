@@ -13,6 +13,13 @@
 // S-NOrec keeps NOrec's single commit-time serialization point, hence its
 // privatization/publication safety (paper §4.1).
 //
+// Conflict cartography: like NOrec, every abort is value/relation-based
+// under the global seqlock — address-granular, no orec index, no owner
+// edge (see NorecCoreT::validate). S-NOrec's signature in a hot-site table
+// is kCmpRevalidation counts *replacing* kReadValidation counts on the
+// same sites, and — when the relation tolerates the churn — sites
+// disappearing outright (EXPERIMENTS.md, contention cartography).
+//
 // SnorecCore is a sealed sibling of NorecCore over the shared NorecCoreT
 // logic: it shadows the raw() promotion hook and supplies native semantic
 // ops — all statically bound, no virtual dispatch anywhere in the core.

@@ -162,7 +162,7 @@ class Stl2Core final : public Tl2CoreT<Stl2Core> {
       // committers livelocks into timeout aborts. Fail fast instead —
       // TL2's own ValidateReadSet makes the same choice.
       if (time != start_version_ && !compare_set_holds(/*may_wait=*/false)) {
-        fail_locked(fail_cause_, conflict_);
+        fail_locked(fail_cause_, conflict_, fail_orec_, fail_owner_);
       }
       if (shared_.clock().try_advance(time)) break;
       // Another writer serialized between validation and CAS: its commit
@@ -171,7 +171,7 @@ class Stl2Core final : public Tl2CoreT<Stl2Core> {
     sched::sched_point();  // serialization point taken, write-back pending
     const std::uint64_t wv = time + 1;
     if (time != start_version_ && !readset_holds()) {
-      fail_locked(fail_cause_, conflict_);
+      fail_locked(fail_cause_, conflict_, fail_orec_, fail_owner_);
     }
     write_back(wv);
     compares_.clear();
@@ -208,7 +208,8 @@ class Stl2Core final : public Tl2CoreT<Stl2Core> {
           // Wait until unlocked instead of aborting (lines 11-12).
           if (!bounded_wait([&] { return !o.locked_by_other(this); })) {
             // starvation timeout (§4.2)
-            abort_tx(obs::AbortCause::kWriteLockConflict, addr);
+            abort_tx(obs::AbortCause::kWriteLockConflict, addr, orec_ix(&o),
+                     o.owner_hint());
           }
           continue;
         }
@@ -223,15 +224,18 @@ class Stl2Core final : public Tl2CoreT<Stl2Core> {
     // Phase 2 (lines 26-34): frozen snapshot, TL2-style checks.
     const std::uint64_t v1 = o.version.load(std::memory_order_acquire);
     if (o.locked_by_other(this)) {
-      abort_tx(obs::AbortCause::kWriteLockConflict, addr);
+      abort_tx(obs::AbortCause::kWriteLockConflict, addr, orec_ix(&o),
+               o.owner_hint());
     }
     const word_t val = addr->load(std::memory_order_acquire);
     if (o.locked_by_other(this)) {
-      abort_tx(obs::AbortCause::kWriteLockConflict, addr);
+      abort_tx(obs::AbortCause::kWriteLockConflict, addr, orec_ix(&o),
+               o.owner_hint());
     }
     const std::uint64_t v2 = o.version.load(std::memory_order_acquire);
     if (v1 != v2 || v1 > start_version_) {
-      abort_tx(obs::AbortCause::kReadValidation, addr);
+      abort_tx(obs::AbortCause::kReadValidation, addr, orec_ix(&o),
+               o.owner_hint());
     }
     return val;
   }
@@ -243,7 +247,7 @@ class Stl2Core final : public Tl2CoreT<Stl2Core> {
     for (;;) {
       const std::uint64_t time = shared_.clock().load();
       if (!compare_set_holds(/*may_wait=*/true)) {
-        abort_tx(fail_cause_, conflict_);
+        abort_tx(fail_cause_, conflict_, fail_orec_, fail_owner_);
       }
       if (time == shared_.clock().load()) {
         start_version_ = time;
@@ -269,24 +273,38 @@ class Stl2Core final : public Tl2CoreT<Stl2Core> {
       for (unsigned i = 0; i < clause.count(); ++i) {
         const ReadEntry& term = clause.row(i);
         if (!wait_unlocked(term.addr, may_wait)) {
-          fail_cause_ = obs::AbortCause::kWriteLockConflict;
-          conflict_ = term.addr;
+          note_cmp_lock_conflict(term.addr);
           return false;
         }
         if (term.rhs_addr != nullptr &&
             !wait_unlocked(term.rhs_addr, may_wait)) {
-          fail_cause_ = obs::AbortCause::kWriteLockConflict;
-          conflict_ = term.rhs_addr;
+          note_cmp_lock_conflict(term.rhs_addr);
           return false;
         }
       }
       if (!clause.holds()) {  // semantic validation (line 63-64)
+        // No single orec: the flip is a property of the clause's value(s),
+        // so attribution stays address-granular (region-keyed site).
         fail_cause_ = obs::AbortCause::kCmpRevalidation;
         conflict_ = clause.addr();
+        fail_orec_ = obs::kNoOrec;
+        fail_owner_ = nullptr;
         return false;
       }
     }
     return true;
+  }
+
+  /// Stuck-lock attribution for compare-set validation: the conflicting
+  /// orec is a function of the term's address, so the site and its owner
+  /// edge are recoverable here even though wait_unlocked only reports a
+  /// bool.
+  void note_cmp_lock_conflict(const tword* addr) {
+    Orec& o = shared_.orecs().of(addr);
+    fail_cause_ = obs::AbortCause::kWriteLockConflict;
+    conflict_ = addr;
+    fail_orec_ = orec_ix(&o);
+    fail_owner_ = o.owner_hint();
   }
 
   /// False = the orec stayed locked by another committer and the caller

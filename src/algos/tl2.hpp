@@ -91,7 +91,7 @@ class Tl2CoreT : public TxCoreBase {
     if (wv == 0) fail_locked(obs::AbortCause::kClockOverflow, nullptr);
     // rv + 1 == wv means no writer serialized in between: skip validation.
     if (wv != start_version_ + 1 && !readset_holds()) {
-      fail_locked(fail_cause_, conflict_);
+      fail_locked(fail_cause_, conflict_, fail_orec_, fail_owner_);
     }
     write_back(wv);
     finish();
@@ -111,21 +111,35 @@ class Tl2CoreT : public TxCoreBase {
     return e->value;
   }
 
+  /// Slot index of an orec, as abort attribution (obs/conflict_map.hpp
+  /// keys hot sites on it for the orec-based algorithms).
+  std::uint32_t orec_ix(const Orec* o) const noexcept {
+    return static_cast<std::uint32_t>(shared_.orecs().index(o));
+  }
+
   /// Consistent shared read (Alg. 7 lines 40-49): version/owner sandwich
-  /// around the value load, then record the orec in the read-set.
+  /// around the value load, then record the orec in the read-set. Every
+  /// abort carries the conflicting orec's index and (best-effort) owner —
+  /// the aborter->owner edge the conflict map accumulates.
   word_t read_shared(const tword* addr) {
     Orec& o = shared_.orecs().of(addr);
     const std::uint64_t v1 = o.version.load(std::memory_order_acquire);
     if (o.locked_by_other(this)) {
-      abort_tx(obs::AbortCause::kWriteLockConflict, addr);
+      abort_tx(obs::AbortCause::kWriteLockConflict, addr, orec_ix(&o),
+               o.owner_hint());
     }
     const word_t val = addr->load(std::memory_order_acquire);
     if (o.locked_by_other(this)) {
-      abort_tx(obs::AbortCause::kWriteLockConflict, addr);
+      abort_tx(obs::AbortCause::kWriteLockConflict, addr, orec_ix(&o),
+               o.owner_hint());
     }
     const std::uint64_t v2 = o.version.load(std::memory_order_acquire);
     if (v1 != v2 || v1 > start_version_) {
-      abort_tx(obs::AbortCause::kReadValidation, addr);
+      // The writer already committed (or is mid-write-back): the owner
+      // hint usually reads null here, but a concurrent locker is still a
+      // usable edge when present.
+      abort_tx(obs::AbortCause::kReadValidation, addr, orec_ix(&o),
+               o.owner_hint());
     }
     track_orec(&o);
     return val;
@@ -170,11 +184,15 @@ class Tl2CoreT : public TxCoreBase {
       if (o->locked_by_other(this)) {
         fail_cause_ = obs::AbortCause::kWriteLockConflict;
         conflict_ = o;
+        fail_orec_ = orec_ix(o);
+        fail_owner_ = o->owner_hint();
         return false;
       }
       if (o->version.load(std::memory_order_acquire) > start_version_) {
         fail_cause_ = obs::AbortCause::kReadValidation;
         conflict_ = o;
+        fail_orec_ = orec_ix(o);
+        fail_owner_ = o->owner_hint();
         return false;
       }
     }
@@ -186,7 +204,8 @@ class Tl2CoreT : public TxCoreBase {
       Orec& o = shared_.orecs().of(e.addr);
       if (o.owner.load(std::memory_order_relaxed) == this) continue;
       if (!o.try_lock(this)) {
-        fail_locked(obs::AbortCause::kWriteLockConflict, e.addr);
+        fail_locked(obs::AbortCause::kWriteLockConflict, e.addr, orec_ix(&o),
+                    o.owner_hint());
       }
       locked_.push_back(&o);
       sched::sched_point();  // partial lock-set held
@@ -208,9 +227,11 @@ class Tl2CoreT : public TxCoreBase {
     release_locks();
   }
 
-  [[noreturn]] void fail_locked(obs::AbortCause cause, const void* addr) {
+  [[noreturn]] void fail_locked(obs::AbortCause cause, const void* addr,
+                                std::uint32_t orec = obs::kNoOrec,
+                                const void* owner = nullptr) {
     release_locks();
-    abort_tx(cause, addr);
+    abort_tx(cause, addr, orec, owner);
   }
 
   void release_locks() noexcept {
@@ -245,9 +266,12 @@ class Tl2CoreT : public TxCoreBase {
   std::uint64_t start_version_ = 0;
   /// Abort attribution handed from a failing validator to the caller that
   /// performs the (lock-releasing) abort. For orec-granular failures the
-  /// conflicting "address" is the orec itself.
+  /// conflicting "address" is the orec itself; fail_orec_/fail_owner_
+  /// carry the table index and best-effort owner for the conflict map.
   obs::AbortCause fail_cause_ = obs::AbortCause::kUnknown;
   const void* conflict_ = nullptr;
+  std::uint32_t fail_orec_ = obs::kNoOrec;
+  const void* fail_owner_ = nullptr;
 };
 
 /// Plain TL2, sealed. Semantic ops lower to read/write (generic_*).

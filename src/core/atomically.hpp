@@ -57,6 +57,19 @@ struct AttemptLoop {
     }
   }
 
+  /// Windowed-metrics hook (obs/metrics.hpp): fold the descriptor's
+  /// cumulative stats into its bound WindowSeries at every attempt end, so
+  /// an attempt's whole delta lands in the window containing its end and
+  /// windows partition the run exactly. No-op unless a series is bound;
+  /// compiles away with the trace gate off.
+  void sample_metrics() noexcept {
+    if constexpr (obs::kTraceEnabled) {
+      if (obs::WindowSeries* s = tx.metrics_series()) {
+        s->sample(obs::now_ticks(), tx.stats);
+      }
+    }
+  }
+
   void on_attempt_start() noexcept {
     tx.clear_last_abort();
     if constexpr (obs::kTraceEnabled) {
@@ -74,6 +87,7 @@ struct AttemptLoop {
     }
     release_token();
     cm.on_finish();
+    sample_metrics();
   }
 
   // The abort and exception unwinders stay out of line (cold): they are
@@ -113,6 +127,7 @@ struct AttemptLoop {
         irrevocable = true;
       }
     }
+    sample_metrics();
   }
 
   [[gnu::cold, gnu::noinline]] void on_exception() noexcept {
@@ -120,6 +135,7 @@ struct AttemptLoop {
     ++tx.stats.exceptions;
     release_token();
     cm.on_finish();
+    sample_metrics();
   }
 
  private:

@@ -118,6 +118,43 @@ struct TxStats {
     return *this;
   }
 
+  /// Windowed-delta subtraction (obs/metrics.hpp): `o` must be an earlier
+  /// snapshot of *this* (single-writer history), so every summable field of
+  /// `o` is <= ours. Summable fields subtract exactly; max_consec_aborts —
+  /// aggregated by max, not sum — keeps the minuend's running high-water
+  /// mark, and histogram min/max follow the same rule (see
+  /// LatencyHistogram::operator-=). Those running extremes are monotone
+  /// over a single writer's life, so re-summing every window delta with
+  /// operator+= reproduces the final TxStats field-for-field — the
+  /// partition invariant tests/test_metrics.cpp asserts as full equality.
+  TxStats& operator-=(const TxStats& o) noexcept {
+    starts -= o.starts;
+    commits -= o.commits;
+    aborts -= o.aborts;
+    exceptions -= o.exceptions;
+    retries -= o.retries;
+    fallbacks -= o.fallbacks;
+    // max_consec_aborts: keep the running max (see contract above).
+    reads -= o.reads;
+    writes -= o.writes;
+    compares -= o.compares;
+    compares2 -= o.compares2;
+    increments -= o.increments;
+    promotions -= o.promotions;
+    validations -= o.validations;
+    readset_adds -= o.readset_adds;
+    readset_dups -= o.readset_dups;
+    validate_entries -= o.validate_entries;
+    for (std::size_t i = 0; i < obs::kAbortCauseCount; ++i) {
+      abort_causes[i] -= o.abort_causes[i];
+    }
+    lat_commit -= o.lat_commit;
+    lat_validate -= o.lat_validate;
+    lat_backoff -= o.lat_backoff;
+    lat_gate -= o.lat_gate;
+    return *this;
+  }
+
   void reset() noexcept { *this = TxStats{}; }
 
   /// Abort percentage over contended attempts (commits + aborts), as

@@ -39,6 +39,8 @@
 #include "core/word.hpp"
 #include "obs/abort_cause.hpp"
 #include "obs/clock.hpp"
+#include "obs/conflict_map.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace_ring.hpp"
 #include "runtime/serial_gate.hpp"
 
@@ -92,31 +94,59 @@ class TxCoreBase {
   void bind_trace(obs::TraceRing* ring) noexcept { trace_ = ring; }
   obs::TraceRing* trace_ring() const noexcept { return trace_; }
 
+  /// The windowed-metrics series this descriptor samples into, or null.
+  /// Bound by the driver when a run collects metrics (--metrics-out);
+  /// atomically()'s retry loop samples at every attempt end. Like tracing,
+  /// sampling compiles away unless SEMSTM_TRACE is set.
+  void bind_metrics(obs::WindowSeries* series) noexcept { metrics_ = series; }
+  obs::WindowSeries* metrics_series() const noexcept { return metrics_; }
+
+  /// Conflict sites this descriptor aborted over (obs/conflict_map.hpp).
+  /// Populated by abort_tx() in SEMSTM_TRACE builds only; always present
+  /// (and empty in gate-off builds) so reporting callers need no #ifdefs.
+  const obs::ConflictMap& conflict_map() const noexcept { return conflicts_; }
+  obs::ConflictMap& conflict_map() noexcept { return conflicts_; }
+
  protected:
   // Destroyed only as a concrete core (by TxFacade or by value); never
   // deleted through a TxCoreBase*, hence no virtual destructor.
   ~TxCoreBase() = default;
 
   /// Abort the current attempt, recording *why* and (when known) the
-  /// conflicting address or orec. Does not count stats; atomically() does.
-  /// One reclassification applies: a conflict observed while another
-  /// transaction holds (or is draining into) the serial-irrevocable token
-  /// is attributed to kSerialGatePreempt — the root cause is the serial
-  /// transaction the system is quiescing for, not ordinary contention.
+  /// conflicting address, orec table index and owning transaction. Does
+  /// not count stats; atomically() does. One reclassification applies: a
+  /// conflict observed while another transaction holds (or is draining
+  /// into) the serial-irrevocable token is attributed to
+  /// kSerialGatePreempt — the root cause is the serial transaction the
+  /// system is quiescing for, not ordinary contention.
+  ///
+  /// In SEMSTM_TRACE builds, every location-carrying abort is also folded
+  /// into this descriptor's ConflictMap — after the reclassification, so
+  /// per-site cause counts stay comparable with stats.abort_causes
+  /// (DESIGN.md §4.15 accounting contract). `owner` is the conflicting
+  /// orec's owner when the site could read one (best-effort; self-owned
+  /// hints are dropped — a transaction is never its own victim).
   ///
   /// Kept out of line (cold): every per-access fast path carries several
   /// abort sites, and in the monomorphized tier (DESIGN.md §4.12) they
   /// would otherwise all inline into the transaction loop, bloating the
   /// hot code footprint for a path only taken on conflicts.
   [[noreturn, gnu::cold, gnu::noinline]] void abort_tx(
-      obs::AbortCause cause, const void* addr = nullptr) {
+      obs::AbortCause cause, const void* addr = nullptr,
+      std::uint32_t orec = obs::kNoOrec, const void* owner = nullptr) {
     if (cause != obs::AbortCause::kUserAbort &&
         cause != obs::AbortCause::kClockOverflow && gate_ != nullptr &&
         gate_->held() && !gate_->held_by(this)) {
       cause = obs::AbortCause::kSerialGatePreempt;
     }
+    if (owner == this) owner = nullptr;
     last_abort_.cause = cause;
     last_abort_.addr = addr;
+    last_abort_.orec = orec;
+    last_abort_.owner = owner;
+    if constexpr (obs::kTraceEnabled) {
+      if (addr != nullptr) conflicts_.record(cause, addr, orec, owner);
+    }
     throw TxAbort{};
   }
 
@@ -164,6 +194,8 @@ class TxCoreBase {
   bool gate_entered_ = false;
   obs::AbortInfo last_abort_;
   obs::TraceRing* trace_ = nullptr;
+  obs::WindowSeries* metrics_ = nullptr;
+  obs::ConflictMap conflicts_;  // lazy: allocates on first recorded conflict
 };
 
 // -- Generic semantic-op delegations ----------------------------------------
@@ -270,6 +302,15 @@ class Tx {
   [[noreturn]] void user_abort() { core_.user_abort(); }
   void bind_trace(obs::TraceRing* ring) noexcept { core_.bind_trace(ring); }
   obs::TraceRing* trace_ring() const noexcept { return core_.trace_ring(); }
+  void bind_metrics(obs::WindowSeries* series) noexcept {
+    core_.bind_metrics(series);
+  }
+  obs::WindowSeries* metrics_series() const noexcept {
+    return core_.metrics_series();
+  }
+  const obs::ConflictMap& conflict_map() const noexcept {
+    return core_.conflict_map();
+  }
   TxCoreBase& core_base() noexcept { return core_; }
 
  protected:

@@ -49,13 +49,24 @@ inline const char* abort_cause_name(AbortCause c) noexcept {
   return "invalid";
 }
 
+/// "No orec": the abort was not resolved at orec granularity (NOrec-family
+/// value/cmp validation, or algorithms without ownership records).
+inline constexpr std::uint32_t kNoOrec = 0xFFFFFFFFu;
+
 /// The tag an abort site attaches to its throw: the cause plus the
 /// conflicting location — a transactional word where the site knows it, an
 /// orec for lock/validation conflicts resolved at orec granularity, null
-/// where no single location exists (e.g. clock overflow).
+/// where no single location exists (e.g. clock overflow). Orec-based
+/// algorithms additionally report the conflicting orec's table index and,
+/// when the site could read one, the owning transaction at conflict time —
+/// the aborter->owner edge the conflict map (obs/conflict_map.hpp)
+/// accumulates. `owner` is a best-effort hint (the owner may release
+/// between the conflict and the read), never a synchronization artifact.
 struct AbortInfo {
   AbortCause cause = AbortCause::kUnknown;
   const void* addr = nullptr;
+  std::uint32_t orec = kNoOrec;
+  const void* owner = nullptr;
 };
 
 }  // namespace semstm::obs

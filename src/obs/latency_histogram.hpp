@@ -89,6 +89,25 @@ struct LatencyHistogram {
     sum += o.sum;
     return *this;
   }
+
+  /// Windowed-delta subtraction (obs/metrics.hpp): `o` must be an earlier
+  /// snapshot of *this* histogram, i.e. per-bucket counts of `o` never
+  /// exceed ours. Buckets/count/sum subtract exactly; min/max keep the
+  /// minuend's running values (a snapshot cannot un-observe an extreme).
+  /// Because min/max only ever tighten monotonically over a single
+  /// writer's life, re-summing all window deltas with operator+= still
+  /// reproduces the final histogram field-for-field — the last delta
+  /// carries the final min/max and += merges by min/max.
+  LatencyHistogram& operator-=(const LatencyHistogram& o) noexcept {
+    for (std::size_t i = 0; i < kBuckets; ++i) buckets[i] -= o.buckets[i];
+    count -= o.count;
+    sum -= o.sum;
+    if (count == 0) {
+      min = 0;
+      max = 0;
+    }
+    return *this;
+  }
 };
 
 /// Scope timer for a histogram: records on destruction, including during

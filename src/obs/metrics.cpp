@@ -1,0 +1,140 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <map>
+
+namespace semstm::obs {
+
+namespace {
+
+/// Same minimal escaping as the trace exporter: labels are ASCII by
+/// construction, only quotes/backslashes/control chars need care.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// {"cause":count,...} with zero buckets omitted.
+void print_causes(std::FILE* f, const std::uint64_t (&counts)[kAbortCauseCount]) {
+  std::fprintf(f, "{");
+  bool first = true;
+  for (std::size_t c = 0; c < kAbortCauseCount; ++c) {
+    if (counts[c] == 0) continue;
+    std::fprintf(f, "%s\"%s\":%" PRIu64, first ? "" : ",",
+                 abort_cause_name(static_cast<AbortCause>(c)), counts[c]);
+    first = false;
+  }
+  std::fprintf(f, "}");
+}
+
+}  // namespace
+
+std::vector<WindowRow> MetricsCollector::merged() const {
+  // Window indices are absolute (shared obs clock), so merging is a sum by
+  // index. std::map keeps rows ordered; runs have dozens of windows, not
+  // millions.
+  std::map<std::uint64_t, TxStats> by_window;
+  for (const WindowSeries& s : series_) {
+    for (const WindowSample& w : s.samples()) {
+      by_window[w.window] += w.delta;
+    }
+  }
+  std::vector<WindowRow> rows;
+  rows.reserve(by_window.size());
+  for (const auto& [idx, stats] : by_window) {
+    WindowRow r;
+    r.window = idx;
+    r.t0 = idx * width_;
+    r.t1 = (idx + 1) * width_;
+    r.stats = stats;
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+MetricsWriter::MetricsWriter(const std::string& path) {
+  f_ = std::fopen(path.c_str(), "w");
+}
+
+MetricsWriter::~MetricsWriter() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+void MetricsWriter::add_run(const std::string& label, const char* units,
+                            std::uint64_t window_ticks, unsigned threads,
+                            const std::vector<WindowRow>& rows,
+                            const std::vector<ConflictMap::Site>& hot_sites,
+                            std::uint64_t conflict_overflow) {
+  if (f_ == nullptr) return;
+  const std::string esc = json_escape(label);
+
+  std::fprintf(f_,
+               "{\"type\":\"run\",\"label\":\"%s\",\"units\":\"%s\","
+               "\"window_ticks\":%" PRIu64
+               ",\"threads\":%u,\"windows\":%zu,\"hot_sites\":%zu,"
+               "\"conflict_overflow\":%" PRIu64 "}\n",
+               esc.c_str(), units, window_ticks, threads, rows.size(),
+               hot_sites.size(), conflict_overflow);
+
+  for (const WindowRow& w : rows) {
+    const TxStats& s = w.stats;
+    // Throughput normalized to commits per 1e6 clock units so sim-tick and
+    // real-ns runs plot on comparable axes (the run line carries `units`).
+    const double thr = static_cast<double>(s.commits) * 1e6 /
+                       static_cast<double>(w.t1 - w.t0);
+    std::fprintf(f_,
+                 "{\"type\":\"window\",\"run\":\"%s\",\"window\":%" PRIu64
+                 ",\"t0\":%" PRIu64 ",\"t1\":%" PRIu64
+                 ",\"starts\":%" PRIu64 ",\"commits\":%" PRIu64
+                 ",\"aborts\":%" PRIu64 ",\"abort_pct\":%.3f,"
+                 "\"throughput\":%.3f,\"commit_p50\":%" PRIu64
+                 ",\"commit_p99\":%" PRIu64 ",\"causes\":",
+                 esc.c_str(), w.window, w.t0, w.t1, s.starts, s.commits,
+                 s.aborts, s.abort_pct(), thr, s.lat_commit.percentile(50.0),
+                 s.lat_commit.percentile(99.0));
+    print_causes(f_, s.abort_causes);
+    std::fprintf(f_, "}\n");
+  }
+
+  std::size_t rank = 1;
+  for (const ConflictMap::Site& site : hot_sites) {
+    std::fprintf(f_,
+                 "{\"type\":\"hot_site\",\"run\":\"%s\",\"rank\":%zu,"
+                 "\"addr\":\"%p\",\"orec\":",
+                 esc.c_str(), rank, site.addr);
+    if (site.orec == kNoOrec) {
+      std::fprintf(f_, "null");
+    } else {
+      std::fprintf(f_, "%" PRIu32, site.orec);
+    }
+    std::fprintf(f_,
+                 ",\"total\":%" PRIu64 ",\"edges\":%" PRIu64
+                 ",\"top_cause\":\"%s\",\"causes\":",
+                 site.total(), site.edges, abort_cause_name(site.top_cause()));
+    print_causes(f_, site.counts);
+    std::fprintf(f_, "}\n");
+    ++rank;
+  }
+
+  if (std::ferror(f_) != 0) error_ = true;
+}
+
+bool MetricsWriter::close() {
+  if (f_ == nullptr) return false;
+  if (std::ferror(f_) != 0) error_ = true;
+  const bool ok = std::fclose(f_) == 0 && !error_;
+  f_ = nullptr;
+  return ok;
+}
+
+}  // namespace semstm::obs

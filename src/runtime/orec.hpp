@@ -49,6 +49,16 @@ struct Orec {
     return expected == tx;
   }
 
+  /// Best-effort owner read for abort attribution (obs/conflict_map.hpp):
+  /// who holds (or held a moment ago) this orec's lock. Relaxed is correct
+  /// because the result is observational only — it becomes a hint in
+  /// AbortInfo::owner and a conflict-map edge, never an input to any
+  /// synchronization or protocol decision, and the owner may legitimately
+  /// have released by the time the aborter records it.
+  const void* owner_hint() const noexcept {
+    return owner.load(std::memory_order_relaxed);
+  }
+
   /// Single-releaser invariant (litmus-audited, tests/test_litmus.cpp orec
   /// suite): the relaxed owner load is legal because only the lock HOLDER
   /// ever calls unlock with its own identity — Tl2CoreT tracks every orec

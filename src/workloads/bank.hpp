@@ -22,10 +22,24 @@ class BankWorkload final : public MonoWorkload<BankWorkload> {
     long initial_balance = 1000;
     unsigned max_transfers_per_tx = 10;
     long max_amount = 100;
+    /// Zipfian-style hot-account skew: when hot_accounts > 0 and
+    /// hot_pct > 0, each account pick lands in [0, hot_accounts) with
+    /// probability hot_pct% and stays uniform over all accounts otherwise.
+    /// This is the contention-cartography testbed: the hot words are known
+    /// in advance, so a conflict map's #1 site is checkable against
+    /// account_word(0..hot_accounts).
+    std::size_t hot_accounts = 0;
+    unsigned hot_pct = 0;
   };
 
   BankWorkload(Params p, bool semantic)
       : p_(p), semantic_(semantic), accounts_(p.accounts, p.initial_balance) {}
+
+  /// The transactional word backing account `i` — the ground-truth address
+  /// for hot-site assertions (tests) and report cross-checks.
+  const tword* account_word(std::size_t i) const noexcept {
+    return accounts_[i].word();
+  }
 
   template <typename TxT>
 
@@ -40,8 +54,8 @@ class BankWorkload final : public MonoWorkload<BankWorkload> {
     const unsigned n =
         1 + static_cast<unsigned>(rng.below(p_.max_transfers_per_tx));
     for (unsigned i = 0; i < n; ++i) {
-      plan[i].src = static_cast<std::size_t>(rng.below(p_.accounts));
-      plan[i].dst = static_cast<std::size_t>(rng.below(p_.accounts));
+      plan[i].src = pick_account(rng);
+      plan[i].dst = pick_account(rng);
       plan[i].amount = rng.between(1, p_.max_amount);
     }
     atomically<TxT>([&](TxT& tx) {
@@ -77,6 +91,13 @@ class BankWorkload final : public MonoWorkload<BankWorkload> {
   }
 
  private:
+  std::size_t pick_account(Rng& rng) {
+    if (p_.hot_accounts > 0 && rng.percent(p_.hot_pct)) {
+      return static_cast<std::size_t>(rng.below(p_.hot_accounts));
+    }
+    return static_cast<std::size_t>(rng.below(p_.accounts));
+  }
+
   Params p_;
   bool semantic_;
   TArray<long> accounts_;

@@ -39,6 +39,12 @@ RunResult run_workload(const RunConfig& cfg, Workload& workload) {
       ctxs[t]->tx->bind_trace(&cfg.trace->ring(t));
     }
   }
+  if (cfg.metrics != nullptr) {
+    cfg.metrics->prepare(cfg.threads);
+    for (unsigned t = 0; t < cfg.threads; ++t) {
+      ctxs[t]->tx->bind_metrics(&cfg.metrics->series(t));
+    }
+  }
 
   if (!cfg.ops_by_thread.empty() && cfg.ops_by_thread.size() != cfg.threads) {
     std::fprintf(stderr,
@@ -71,13 +77,30 @@ RunResult run_workload(const RunConfig& cfg, Workload& workload) {
     const sched::SimResult sr = sim.run(cfg.threads, body);
     r.makespan = sr.makespan;
     r.wall_seconds = timer.seconds();
+    r.units = "ticks";
   } else {
     const sched::RealResult rr = sched::run_threads(cfg.threads, body);
     r.wall_seconds = rr.seconds;
+    r.units = "ns";  // obs::now_ticks() is steady_clock ns under real threads
   }
 
   for (const auto& ctx : ctxs) r.stats += ctx->tx->stats;
   r.abort_pct = r.stats.abort_pct();
+
+  // Contention cartography (empty in gate-off builds: the per-descriptor
+  // maps never record and the series never open). Flushing after the run —
+  // rather than sampling with a clock — keeps sim-mode final windows
+  // correct: outside sim.run() the virtual clock is gone.
+  if (cfg.metrics != nullptr) {
+    for (unsigned t = 0; t < cfg.threads; ++t) {
+      cfg.metrics->series(t).flush(ctxs[t]->tx->stats);
+    }
+    r.windows = cfg.metrics->merged();
+  }
+  obs::ConflictMap merged(12);  // 4096 run-level sites
+  for (const auto& ctx : ctxs) merged.merge(ctx->tx->conflict_map());
+  r.conflict_overflow = merged.overflow();
+  r.hot_sites = obs::top_sites(merged, cfg.top_k_sites);
   if (cfg.mode == ExecMode::kSim) {
     r.throughput = r.makespan == 0
                        ? 0.0

@@ -12,6 +12,8 @@
 
 #include "core/algorithm.hpp"
 #include "core/stats.hpp"
+#include "obs/conflict_map.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace_export.hpp"
 #include "runtime/contention.hpp"
 #include "util/cli.hpp"
@@ -105,6 +107,14 @@ struct RunConfig {
   /// it. Only populated in SEMSTM_TRACE builds; harmless to set otherwise
   /// (the rings simply stay empty). The collector must outlive the run.
   obs::TraceCollector* trace = nullptr;
+  /// Optional windowed-metrics sink (obs/metrics.hpp). When non-null the
+  /// driver binds one WindowSeries per thread, the retry loop samples at
+  /// every attempt end, and the driver flushes + merges at run end into
+  /// RunResult::windows. Same gate discipline as `trace`: only populated
+  /// in SEMSTM_TRACE builds, harmless otherwise. Must outlive the run.
+  obs::MetricsCollector* metrics = nullptr;
+  /// Hot-site ranking depth for RunResult::hot_sites.
+  std::size_t top_k_sites = 10;
 };
 
 struct RunResult {
@@ -115,6 +125,17 @@ struct RunResult {
   /// sim mode, per second in real mode.
   double throughput = 0.0;
   double abort_pct = 0.0;
+  /// Time base of makespan, trace timestamps and metrics windows:
+  /// "ticks" (sim mode, virtual scheduler) or "ns" (real threads).
+  const char* units = "ticks";
+  /// Contention cartography (SEMSTM_TRACE builds; empty otherwise).
+  /// hot_sites is the run-level top-K merge of every descriptor's
+  /// ConflictMap; conflict_overflow counts sites dropped by full tables
+  /// (ranking is a lower bound when non-zero). windows is filled only
+  /// when cfg.metrics was set.
+  std::vector<obs::ConflictMap::Site> hot_sites;
+  std::uint64_t conflict_overflow = 0;
+  std::vector<obs::WindowRow> windows;
 };
 
 /// Execute `workload` under `cfg`. setup() is called before threads start.
