@@ -77,7 +77,17 @@ inline void apply_cli(FigureSpec& spec, const Cli& cli) {
       cli.get_int("ops", static_cast<std::int64_t>(spec.ops_per_thread)));
   spec.seed = static_cast<std::uint64_t>(
       cli.get_int("seed", static_cast<std::int64_t>(spec.seed)));
-  if (cli.has("real")) spec.mode = ExecMode::kReal;
+  if (cli.has("real")) spec.mode = ExecMode::kReal;  // legacy spelling
+  const std::string mode = cli.get("mode", "");
+  if (mode == "real") {
+    spec.mode = ExecMode::kReal;
+  } else if (mode == "sim") {
+    spec.mode = ExecMode::kSim;
+  } else if (!mode.empty()) {
+    std::fprintf(stderr, "error: --mode must be 'real' or 'sim', got %s\n",
+                 mode.c_str());
+    std::exit(2);
+  }
   spec.sim_quantum = static_cast<std::uint64_t>(
       cli.get_int("quantum", static_cast<std::int64_t>(spec.sim_quantum)));
   spec.cm = cli.get("cm", spec.cm);
@@ -137,26 +147,43 @@ inline void emit_json_summary(std::FILE* out, const FigureSpec& spec,
   // trace timestamps, metrics windows): virtual ticks in sim mode,
   // steady-clock nanoseconds under real threads.
   std::fprintf(out, "{\"figure\":\"%s\",\"metric\":\"%s\",\"units\":\"%s\","
-               "\"cm\":\"%s\",\"retry_limit\":%llu,\"series\":[",
+               "\"mode\":\"%s\",\"cm\":\"%s\",\"retry_limit\":%llu,"
+               "\"series\":[",
                spec.name.c_str(), spec.metric.c_str(),
-               spec.mode == ExecMode::kSim ? "ticks" : "ns", spec.cm.c_str(),
+               spec.mode == ExecMode::kSim ? "ticks" : "ns",
+               spec.mode == ExecMode::kSim ? "sim" : "real", spec.cm.c_str(),
                static_cast<unsigned long long>(spec.retry_limit));
   for (std::size_t s = 0; s < spec.series.size(); ++s) {
     std::fprintf(out, "%s{\"label\":\"%s\",\"algo\":\"%s\",\"points\":[",
                  s == 0 ? "" : ",", spec.series[s].label.c_str(),
                  spec.series[s].algo.c_str());
+    // Threads×metric scaling relative to the sweep's first (smallest)
+    // thread count — >1 means the algorithm gained from added threads.
+    // Meaningful under --mode=real on multi-core hosts; on the 1-fiber sim
+    // it records the simulated-contention profile instead.
+    const double base_metric = table[s][0].metric_value;
     for (std::size_t t = 0; t < spec.threads.size(); ++t) {
       const SeriesPoint& p = table[s][t];
       const TxStats& st = p.stats;
+      double speedup = 0.0;
+      if (spec.metric == "time") {
+        if (p.metric_value > 0) speedup = base_metric / p.metric_value;
+      } else {
+        if (base_metric > 0) speedup = p.metric_value / base_metric;
+      }
       std::fprintf(
           out,
-          "%s{\"threads\":%u,\"metric\":%.6g,\"abort_pct\":%.4g,"
+          "%s{\"threads\":%u,\"metric\":%.6g,\"speedup\":%.4g,"
+          "\"abort_pct\":%.4g,"
           "\"commits\":%llu,\"aborts\":%llu,\"retries\":%llu,"
           "\"fallbacks\":%llu,\"max_consec_aborts\":%llu,"
           "\"exceptions\":%llu,\"validations\":%llu,"
           "\"readset_adds\":%llu,\"readset_dups\":%llu,"
-          "\"validate_entries\":%llu,\"abort_causes\":{",
-          t == 0 ? "" : ",", spec.threads[t], p.metric_value, p.abort_pct,
+          "\"validate_entries\":%llu,\"clock_adoptions\":%llu,"
+          "\"epoch_retires\":%llu,\"epoch_reclaims\":%llu,"
+          "\"abort_causes\":{",
+          t == 0 ? "" : ",", spec.threads[t], p.metric_value, speedup,
+          p.abort_pct,
           static_cast<unsigned long long>(st.commits),
           static_cast<unsigned long long>(st.aborts),
           static_cast<unsigned long long>(st.retries),
@@ -166,7 +193,10 @@ inline void emit_json_summary(std::FILE* out, const FigureSpec& spec,
           static_cast<unsigned long long>(st.validations),
           static_cast<unsigned long long>(st.readset_adds),
           static_cast<unsigned long long>(st.readset_dups),
-          static_cast<unsigned long long>(st.validate_entries));
+          static_cast<unsigned long long>(st.validate_entries),
+          static_cast<unsigned long long>(st.clock_adoptions),
+          static_cast<unsigned long long>(st.epoch_retires),
+          static_cast<unsigned long long>(st.epoch_reclaims));
       for (std::size_t c = 0; c < obs::kAbortCauseCount; ++c) {
         std::fprintf(out, "%s\"%s\":%llu", c == 0 ? "" : ",",
                      obs::abort_cause_name(static_cast<obs::AbortCause>(c)),

@@ -14,7 +14,9 @@
 #include <vector>
 
 #include "containers/tarray.hpp"
+#include "sched/thread_runner.hpp"
 #include "semstm.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -161,6 +163,53 @@ BENCHMARK(BM_CompareSetValidation<2>)->RangeMultiplier(4)->Range(4, 1024)
 BENCHMARK(BM_CompareSetValidation<4>)->RangeMultiplier(4)->Range(4, 1024)
     ->Complexity(benchmark::oN);
 
+// ---------------------------------------------------------------------------
+// Real-thread commit scalability (§4.16): throughput of the GV4 clock +
+// announce-slot gate commit path under genuine OS threads, at 1/2/4
+// threads, read-dominated and mixed. scripts/ci_scale_smoke.sh compares
+// the 4-thread items_per_second against 1-thread on >=4-core hosts.
+// Skipped under --mode=sim (the micro binary never installs the fiber
+// scheduler, so "sim" means "latency-only benchmarks").
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kScaleCells = 256;
+constexpr std::uint64_t kScaleOpsPerThread = 2000;
+
+void BM_RealThreadScaling(benchmark::State& state) {
+  const char* name = algo_of(static_cast<int>(state.range(0)));
+  const auto threads = static_cast<unsigned>(state.range(1));
+  const bool mixed = state.range(2) != 0;
+  auto algo = make_algorithm(name);
+  TArray<long> cells(kScaleCells, 100);
+  for (auto _ : state) {
+    const sched::RealResult r = sched::run_threads(threads, [&](unsigned tid) {
+      // Contexts are per-OS-thread: CtxBinder binds a thread-local, so it
+      // must run on the worker, not be hoisted into the harness thread.
+      ThreadCtx ctx(algo->make_tx());
+      CtxBinder bind(ctx);
+      Rng rng(0x5CA1AB1EULL + tid);
+      for (std::uint64_t i = 0; i < kScaleOpsPerThread; ++i) {
+        const auto a = static_cast<std::size_t>(rng.below(kScaleCells));
+        if (mixed && rng.below(4) == 0) {  // 25% writers
+          atomically([&](Tx& tx) { cells[a].add(tx, 1); });
+        } else {
+          benchmark::DoNotOptimize(
+              atomically([&](Tx& tx) { return cells[a].get(tx); }));
+        }
+      }
+    });
+    state.SetIterationTime(r.seconds);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          threads * kScaleOpsPerThread);
+  state.SetLabel(std::string(name) + (mixed ? "/mixed/" : "/reads/") +
+                 std::to_string(threads) + "t");
+}
+BENCHMARK(BM_RealThreadScaling)
+    ->ArgsProduct({{1, 3}, {1, 2, 4}, {0, 1}})  // norec, tl2
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
 /// Write-set lookup (read-after-write) cost as the write-set grows.
 void BM_WriteSetLookup(benchmark::State& state) {
   Bound b("snorec");
@@ -181,15 +230,23 @@ BENCHMARK(BM_WriteSetLookup)->RangeMultiplier(4)->Range(4, 1024)
 
 }  // namespace
 
-// BENCHMARK_MAIN() plus one extra flag: --json-out=FILE writes the full
-// google-benchmark JSON report to FILE while the console report still goes
-// to stdout — the hook scripts/bench_baseline.sh uses to commit
-// BENCH_micro.json. The flag is stripped before benchmark::Initialize so
-// the library's own strict flag parsing stays intact.
+// BENCHMARK_MAIN() plus two extra flags, stripped before
+// benchmark::Initialize so the library's own strict flag parsing stays
+// intact:
+//   --json-out=FILE    write the full google-benchmark JSON report to FILE
+//                      while the console report still goes to stdout — the
+//                      hook scripts/bench_baseline.sh uses to commit
+//                      BENCH_micro.json.
+//   --mode=real|sim    "real" (default) runs everything; "sim" excludes
+//                      the BM_RealThreadScaling family (this binary never
+//                      installs the fiber scheduler, so sim mode means
+//                      latency-only benchmarks — what 1-core CI hosts run).
 int main(int argc, char** argv) {
   // Rewrite --json-out=FILE (or --json-out FILE) into the pair of native
   // flags the library validates together; everything else passes through.
   std::string json_out;
+  std::string mode = "real";
+  bool user_filter = false;
   std::vector<std::string> storage;
   storage.reserve(static_cast<std::size_t>(argc) + 1);
   for (int i = 0; i < argc; ++i) {
@@ -197,9 +254,22 @@ int main(int argc, char** argv) {
       json_out = argv[i] + 11;
     } else if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
       json_out = argv[++i];
+    } else if (std::strncmp(argv[i], "--mode=", 7) == 0) {
+      mode = argv[i] + 7;
     } else {
+      if (std::strncmp(argv[i], "--benchmark_filter", 18) == 0) {
+        user_filter = true;
+      }
       storage.emplace_back(argv[i]);
     }
+  }
+  if (mode != "real" && mode != "sim") {
+    std::fprintf(stderr, "error: --mode must be 'real' or 'sim', got %s\n",
+                 mode.c_str());
+    return 2;
+  }
+  if (mode == "sim" && !user_filter) {
+    storage.push_back("--benchmark_filter=-BM_RealThreadScaling.*");
   }
   if (!json_out.empty()) {
     // Fail before the run, not after minutes of benchmarking.

@@ -42,16 +42,30 @@ failures = []
 
 # --- micro_ops: google-benchmark JSON, keyed by benchmark name ---------
 MICRO_THRESHOLD = 0.50  # fresh may be up to 50% slower than baseline
+# Real-thread scaling benches measure run_threads wall time, which depends
+# on the host's core count: cross-topology comparison is meaningless, so
+# their times are gated only when baseline and fresh ran on the same
+# number of CPUs, and loosely even then (thread scheduling is noisy; the
+# hard scaling gate is ci_scale_smoke.sh). Presence is always checked so
+# the family cannot silently vanish from the suite.
+REAL_PREFIX = "BM_RealThreadScaling"
+REAL_THRESHOLD = 1.50
 
 def micro_times(path):
     with open(path) as f:
         doc = json.load(f)
-    return {b["name"]: float(b["cpu_time"])
-            for b in doc.get("benchmarks", [])
-            if b.get("run_type", "iteration") == "iteration"}
+    times, real = {}, {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        if b["name"].startswith(REAL_PREFIX):
+            real[b["name"]] = float(b["real_time"])
+        else:
+            times[b["name"]] = float(b["cpu_time"])
+    return times, real, doc.get("context", {}).get("num_cpus")
 
-base = micro_times("BENCH_micro.json")
-fresh = micro_times(f"{tmpdir}/BENCH_micro.json")
+base, base_real, base_cpus = micro_times("BENCH_micro.json")
+fresh, fresh_real, fresh_cpus = micro_times(f"{tmpdir}/BENCH_micro.json")
 for name, t0 in sorted(base.items()):
     t1 = fresh.get(name)
     if t1 is None:
@@ -61,6 +75,20 @@ for name, t0 in sorted(base.items()):
         failures.append(
             f"micro: {name}: cpu_time {t0:.1f} -> {t1:.1f} ns "
             f"(+{100*(t1-t0)/t0:.0f}% > {100*MICRO_THRESHOLD:.0f}%)")
+if not base_real:
+    failures.append("micro: baseline has no real-thread scaling benchmarks "
+                    "(regenerate with scripts/bench_baseline.sh)")
+for name, t0 in sorted(base_real.items()):
+    t1 = fresh_real.get(name)
+    if t1 is None:
+        failures.append(f"micro: real-thread benchmark disappeared: {name}")
+        continue
+    if (base_cpus == fresh_cpus and t0 > 0
+            and (t1 - t0) / t0 > REAL_THRESHOLD):
+        failures.append(
+            f"micro: {name}: real_time {t0:.1f} -> {t1:.1f} "
+            f"(+{100*(t1-t0)/t0:.0f}% > {100*REAL_THRESHOLD:.0f}% on "
+            f"identical {base_cpus}-cpu topology)")
 
 # --- fig1: deterministic sim throughput per (figure, series, threads) --
 FIG_THRESHOLD = 0.30  # fresh throughput may be at most 30% below baseline
@@ -70,8 +98,18 @@ def fig_points(path):
         doc = json.load(f)
     out = {}
     for fig in doc["figures"]:
+        # Schema guard for the commit-scalability fields: every figure
+        # carries its execution mode, every point its scaling factor and
+        # the GV4/epoch counters, in both execution modes.
+        if "mode" not in fig:
+            failures.append(f"fig1: {path}: figure missing 'mode' field")
         for series in fig["series"]:
             for p in series["points"]:
+                for field in ("speedup", "clock_adoptions",
+                              "epoch_retires", "epoch_reclaims"):
+                    if field not in p:
+                        failures.append(
+                            f"fig1: {path}: point missing '{field}' field")
                 key = (fig["figure"], series["label"], p["threads"])
                 out[key] = float(p["metric"])
     return out

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Real-thread scaling gate (§4.16): the commit-path refactor (GV4 version
+# clock, announce-slot serial gate, SpinWait escalation) must actually buy
+# parallel throughput, not just preserve sim semantics. Runs the
+# BM_RealThreadScaling micro benches at 1/2/4 OS threads and fails when
+# 4-thread read-dominated throughput for NOrec or TL2 lands below 2x the
+# 1-thread rate — the regression signature of a commit path that has
+# re-grown a global serialization point.
+#
+# Mixed-workload (25% writers) ratios are printed for the record but not
+# gated: genuine write conflicts make their scaling host- and
+# allocator-dependent.
+#
+# Self-skips (exit 0) with a message on hosts with fewer than 4 cores,
+# mirroring scripts/ci_tsan.sh: a 1-core container can run the benches but
+# cannot measure parallel speedup, so a gate there would only report
+# scheduler noise.
+#
+# Usage: scripts/ci_scale_smoke.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="${1:-$(nproc)}"
+
+cores="$(nproc)"
+if [ "${cores}" -lt 4 ]; then
+    echo "ci_scale_smoke: host has ${cores} core(s) < 4 — real-thread" \
+         "scaling is not measurable here, skipping stage"
+    exit 0
+fi
+
+echo "=== Release build (build-bench) ==="
+cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-bench -j "${jobs}" --target micro_ops >/dev/null
+
+tmpjson="$(mktemp)"
+trap 'rm -f "${tmpjson}"' EXIT
+
+echo "=== BM_RealThreadScaling at 1/2/4 threads ==="
+./build-bench/bench/micro_ops \
+    --mode=real --benchmark_filter='BM_RealThreadScaling' \
+    --benchmark_min_time=0.2 --json-out="${tmpjson}" >/dev/null
+
+python3 - "${tmpjson}" <<'EOF'
+import json
+import sys
+
+MIN_SPEEDUP = 2.0  # 4t read-dominated must be >= 2x 1t
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+# Labels are "algo/mix/Nt" (set by the benchmark itself); rate is the
+# run_threads-measured items_per_second, so harness overhead is excluded.
+rates = {}
+for b in doc.get("benchmarks", []):
+    if b.get("run_type", "iteration") != "iteration":
+        continue
+    if b.get("label"):
+        rates[b["label"]] = float(b["items_per_second"])
+
+failures = []
+for algo in ("norec", "tl2"):
+    one = rates.get(f"{algo}/reads/1t")
+    four = rates.get(f"{algo}/reads/4t")
+    if not one or not four:
+        failures.append(f"missing read-dominated scaling points for {algo}")
+        continue
+    ratio = four / one
+    print(f"  {algo} reads: 1t={one:.3g} ops/s, 4t={four:.3g} ops/s "
+          f"-> {ratio:.2f}x")
+    if ratio < MIN_SPEEDUP:
+        failures.append(
+            f"{algo}: 4-thread read throughput is only {ratio:.2f}x the "
+            f"1-thread rate (< {MIN_SPEEDUP:.1f}x) — the commit path has "
+            f"re-grown a serialization point")
+
+for algo in ("norec", "tl2"):  # informational only
+    one = rates.get(f"{algo}/mixed/1t")
+    four = rates.get(f"{algo}/mixed/4t")
+    if one and four:
+        print(f"  {algo} mixed: 1t={one:.3g} ops/s, 4t={four:.3g} ops/s "
+              f"-> {four/one:.2f}x (not gated)")
+
+if failures:
+    print("SCALE SMOKE FAILED:")
+    for f in failures:
+        print("  " + f)
+    sys.exit(1)
+print("scale smoke OK")
+EOF
+
+echo "=== scale smoke passed ==="

@@ -29,6 +29,7 @@
 
 #include "core/algorithm.hpp"
 #include "core/tx.hpp"
+#include "runtime/spinwait.hpp"
 #include "runtime/writeset.hpp"
 #include "sched/yieldpoint.hpp"
 #include "util/padded.hpp"
@@ -42,16 +43,22 @@ class CglAlgorithm final : public Algorithm {
   std::unique_ptr<Tx> make_tx() override;
 
   // Not noexcept: the spin is a yield point, and under a truncating
-  // ScheduleController yield points raise ScheduleStopped.
+  // ScheduleController yield points raise ScheduleStopped. The wait is
+  // test-and-test-and-set with SpinWait escalation: relaxed local reads
+  // between pauses, so waiters generate no write traffic on the lock line
+  // and back off to OS yields in real-thread mode.
   void lock() {
+    SpinWait spin;
     while (flag_.value.exchange(true, std::memory_order_acquire)) {
-      while (flag_.value.load(std::memory_order_relaxed)) sched::spin_pause();
+      while (flag_.value.load(std::memory_order_relaxed)) spin.pause();
     }
   }
   void unlock() noexcept { flag_.value.store(false, std::memory_order_release); }
 
  private:
   Padded<std::atomic<bool>> flag_{};
+  static_assert(alignof(Padded<std::atomic<bool>>) >= kCacheLine,
+                "the global lock must own its cache line");
 };
 
 class CglCore final : public TxCoreBase {

@@ -83,17 +83,24 @@ class Tl2CoreT : public TxCoreBase {
     }
     acquire_write_locks();
     sched::sched_point();  // all write orecs locked, clock not yet bumped
-    const std::uint64_t wv = shared_.clock().fetch_increment();
+    const ClockStamp st = shared_.clock().fetch_increment();
     sched::sched_point();  // wv drawn; readers may now see wv-readable state
     // A wrapped write version would order *before* every recorded orec
     // version: the clock epoch is over (tagged, though unreachable in any
     // realistic run).
-    if (wv == 0) fail_locked(obs::AbortCause::kClockOverflow, nullptr);
-    // rv + 1 == wv means no writer serialized in between: skip validation.
-    if (wv != start_version_ + 1 && !readset_holds()) {
+    if (!st.exclusive) ++stats.clock_adoptions;
+    if (st.wv == 0) fail_locked(obs::AbortCause::kClockOverflow, nullptr);
+    // rv + 1 == wv with an EXCLUSIVE advance means no writer serialized in
+    // between: skip validation. An adopted (GV4-shared) stamp never skips:
+    // two adopters sharing wv == rv+1 could each have read state the other
+    // is about to overwrite — write skew the skip would wave through. The
+    // unique CAS winner is safe because any concurrent committer holds its
+    // full lock set before reading the clock, so the winner's validation
+    // (or its reads' owner checks) observes those locks. DESIGN.md §4.16.
+    if ((!st.exclusive || st.wv != start_version_ + 1) && !readset_holds()) {
       fail_locked(fail_cause_, conflict_, fail_orec_, fail_owner_);
     }
-    write_back(wv);
+    write_back(st.wv);
     finish();
   }
 

@@ -72,6 +72,21 @@ struct TxStats {
   std::uint64_t readset_dups = 0;
   std::uint64_t validate_entries = 0;
 
+  /// GV4 commit-clock adoptions (runtime/global_clock.hpp): commits that
+  /// lost the clock CAS and adopted a concurrent committer's stamp. Zero
+  /// in the 1-carrier sim by construction (no yield point inside
+  /// fetch_increment) — the determinism suite asserts exactly that; under
+  /// real threads it measures clock-line contention relieved by GV4.
+  std::uint64_t clock_adoptions = 0;
+
+  // Epoch-based reclamation (runtime/epoch.hpp, real-thread mode only —
+  // the sim never routes frees through EBR, see the determinism note
+  // there): nodes handed to EpochHandle::retire() and nodes actually
+  // freed after their grace period. retires >= reclaims at all times;
+  // they converge when the handles drain at thread exit.
+  std::uint64_t epoch_retires = 0;
+  std::uint64_t epoch_reclaims = 0;
+
   /// Aborts by cause, indexed by obs::AbortCause (see the contract above).
   std::uint64_t abort_causes[obs::kAbortCauseCount] = {};
 
@@ -108,6 +123,9 @@ struct TxStats {
     readset_adds += o.readset_adds;
     readset_dups += o.readset_dups;
     validate_entries += o.validate_entries;
+    clock_adoptions += o.clock_adoptions;
+    epoch_retires += o.epoch_retires;
+    epoch_reclaims += o.epoch_reclaims;
     for (std::size_t i = 0; i < obs::kAbortCauseCount; ++i) {
       abort_causes[i] += o.abort_causes[i];
     }
@@ -145,6 +163,9 @@ struct TxStats {
     readset_adds -= o.readset_adds;
     readset_dups -= o.readset_dups;
     validate_entries -= o.validate_entries;
+    clock_adoptions -= o.clock_adoptions;
+    epoch_retires -= o.epoch_retires;
+    epoch_reclaims -= o.epoch_reclaims;
     for (std::size_t i = 0; i < obs::kAbortCauseCount; ++i) {
       abort_causes[i] -= o.abort_causes[i];
     }

@@ -176,7 +176,7 @@ class TxCoreBase {
   /// across repeated begin() calls without an intervening attempt end.
   void gate_enter() {
     if (gate_ == nullptr || gate_entered_ || gate_->held_by(this)) return;
-    gate_->enter();
+    gate_->enter(tx_id());  // identity picks the announce slot
     gate_entered_ = true;
   }
 
@@ -184,7 +184,7 @@ class TxCoreBase {
   /// redundantly; only the first call after a gate_enter() counts.
   void gate_exit() noexcept {
     if (gate_entered_) {
-      gate_->exit();
+      gate_->exit(tx_id());  // same identity, same slot as gate_enter()
       gate_entered_ = false;
     }
   }

@@ -1,0 +1,233 @@
+// Epoch-based reclamation (EBR) for safe node retirement under real
+// threads (DESIGN.md §4.16).
+//
+// The containers (src/containers) unlink nodes transactionally but never
+// free them mid-run: in the 1-carrier fiber sim that is merely frugal, but
+// under real threads any eager free is a use-after-free against a
+// concurrent reader that already holds the pointer. Classic EBR closes
+// this: readers *pin* the global epoch around each unlinked-pointer
+// dereference window, writers *retire* unlinked nodes into a local limbo
+// list stamped with the retirement epoch, and a retired node is freed only
+// once the global epoch has advanced twice past its stamp — by then every
+// reader pinned at retirement time has unpinned, so no live reference can
+// remain [K. Fraser, "Practical lock-freedom", §5.2.3].
+//
+// Shapes and invariants:
+//
+//  - EpochManager: the shared side — a padded global epoch counter and a
+//    padded announce slot per registered handle. Slots are leased for the
+//    manager's lifetime (handles are per-thread and few; no free-list).
+//  - EpochHandle: the per-thread side — pin()/unpin() bracket read-side
+//    critical sections; retire() stamps and buffers; reclamation runs
+//    opportunistically every kAdvanceEvery retires, or on flush().
+//  - Epoch advance (global e -> e+1) requires every announce slot to be
+//    quiescent or already at e. A handle announcing a *stale* epoch
+//    blocks advance — conservative, never unsafe.
+//  - A node retired at epoch r is reclaimed when global >= r + 2: one
+//    advance proves every pre-retirement reader has since re-announced or
+//    unpinned, the second that none of them can still be inside a section
+//    that observed the unlinked pointer.
+//
+// Memory orders: announce stores and the advance scan are seq_cst — the
+// scan must not overtake a concurrent pin into the epoch being retired
+// (store buffering on announce-vs-global is exactly the reordering that
+// breaks EBR; cf. the §4.14 audit). Unpin is a release store: it publishes
+// the section's reads before the slot reads quiescent.
+//
+// Accounting: retire/reclaim totals feed TxStats (epoch_retires /
+// epoch_reclaims) through bind_stats(), surfacing reclamation pressure in
+// the same merged stats the bench JSON and tm_top already report.
+//
+// Determinism note: the sim path does NOT route container frees through
+// this layer — node address reuse would perturb orec hashing and break
+// bit-identical sim replay. EBR is exercised by the real-thread stress
+// tests (TSan-checked) and is the designated reclamation substrate for the
+// real-thread KV-service work.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "util/padded.hpp"
+
+namespace semstm {
+
+class EpochManager {
+ public:
+  static constexpr std::size_t kMaxSlots = 64;
+  static constexpr std::uint64_t kQuiescent = 0;  ///< slot value: not pinned
+
+  EpochManager() { global_.value.store(1, std::memory_order_relaxed); }
+
+  /// Current global epoch (starts at 1 so kQuiescent can never alias a
+  /// real epoch).
+  std::uint64_t epoch() const noexcept {
+    return global_.value.load(std::memory_order_seq_cst);
+  }
+
+  /// Try to advance the global epoch: succeeds iff every registered slot
+  /// is quiescent or already announcing the current epoch. Any thread may
+  /// call this; failure is benign (retry later).
+  bool try_advance() noexcept {
+    const std::uint64_t e = epoch();
+    const unsigned n = nslots_.load(std::memory_order_acquire);
+    for (unsigned s = 0; s < n; ++s) {
+      const std::uint64_t a = slots_[s].value.load(std::memory_order_seq_cst);
+      if (a != kQuiescent && a != e) return false;
+    }
+    std::uint64_t expected = e;
+    return global_.value.compare_exchange_strong(
+        expected, e + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+  }
+
+  /// Registered handle count (observability/tests).
+  unsigned slots_in_use() const noexcept {
+    return nslots_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class EpochHandle;
+
+  unsigned lease_slot() noexcept {
+    const unsigned s = nslots_.fetch_add(1, std::memory_order_acq_rel);
+    assert(s < kMaxSlots && "EpochManager announce slots exhausted");
+    return s;
+  }
+
+  Padded<std::atomic<std::uint64_t>> global_{};
+  Padded<std::atomic<std::uint64_t>> slots_[kMaxSlots];
+  std::atomic<unsigned> nslots_{0};
+
+  static_assert(alignof(Padded<std::atomic<std::uint64_t>>) >= kCacheLine &&
+                    sizeof(Padded<std::atomic<std::uint64_t>>) >= kCacheLine,
+                "epoch announce slots must not share cache lines");
+};
+
+/// Per-thread EBR participant. Not thread-safe: one handle per thread.
+class EpochHandle {
+ public:
+  explicit EpochHandle(EpochManager& mgr)
+      : mgr_(&mgr), slot_(mgr.lease_slot()) {}
+
+  EpochHandle(const EpochHandle&) = delete;
+  EpochHandle& operator=(const EpochHandle&) = delete;
+
+  /// Destruction drains the limbo list. Precondition: every other handle
+  /// on this manager is unpinned (true after sched::run_threads joins).
+  /// If some handle is still pinned the un-reclaimable tail is leaked
+  /// rather than freed unsafely.
+  ~EpochHandle() {
+    assert(!pinned_ && "destroying a pinned EpochHandle");
+    for (int rounds = 0; !limbo_.empty() && rounds < 3; ++rounds) {
+      reclaim();
+      if (!limbo_.empty() && !mgr_->try_advance()) break;
+    }
+    reclaim();
+  }
+
+  /// Route retire/reclaim counts into a TxStats (e.g. the owning thread's
+  /// descriptor stats, so run-level merges report reclamation pressure).
+  /// The stats object must outlive every retire()/flush() call and, if
+  /// the limbo list is non-empty, the handle's destructor.
+  void bind_stats(TxStats* stats) noexcept { stats_ = stats; }
+
+  /// Enter a read-side critical section: unlinked-but-unreclaimed nodes
+  /// stay alive until the matching unpin(). Nestable is NOT supported —
+  /// sections are flat, one per handle at a time.
+  void pin() noexcept {
+    assert(!pinned_);
+    auto& slot = mgr_->slots_[slot_].value;
+    std::uint64_t e = mgr_->epoch();
+    slot.store(e, std::memory_order_seq_cst);
+    // Close the announce race: if the epoch moved between our read and our
+    // announce, re-announce the newer epoch so we never pin an epoch whose
+    // grace period effectively ended before our announce became visible.
+    for (;;) {
+      const std::uint64_t now = mgr_->epoch();
+      if (now == e) break;
+      e = now;
+      slot.store(e, std::memory_order_seq_cst);
+    }
+    pinned_ = true;
+  }
+
+  /// Leave the read-side critical section.
+  void unpin() noexcept {
+    assert(pinned_);
+    mgr_->slots_[slot_].value.store(EpochManager::kQuiescent,
+                                    std::memory_order_release);
+    pinned_ = false;
+  }
+
+  bool pinned() const noexcept { return pinned_; }
+
+  /// Retire an unlinked node: buffered until its grace period elapses,
+  /// then freed with `deleter`. The caller must already have made the
+  /// node unreachable to new readers.
+  void retire(void* p, void (*deleter)(void*)) {
+    limbo_.push_back({p, deleter, mgr_->epoch()});
+    if (stats_ != nullptr) ++stats_->epoch_retires;
+    if (++retires_since_scan_ >= kAdvanceEvery) {
+      retires_since_scan_ = 0;
+      mgr_->try_advance();
+      reclaim();
+    }
+  }
+
+  template <typename T>
+  void retire(T* p) {
+    retire(static_cast<void*>(p),
+           [](void* q) { delete static_cast<T*>(q); });
+  }
+
+  /// Opportunistic reclamation: one advance attempt, then free everything
+  /// whose grace period has elapsed. Returns the number freed.
+  std::size_t flush() {
+    mgr_->try_advance();
+    return reclaim();
+  }
+
+  std::size_t limbo_size() const noexcept { return limbo_.size(); }
+
+ private:
+  struct Retired {
+    void* ptr;
+    void (*deleter)(void*);
+    std::uint64_t epoch;
+  };
+
+  std::size_t reclaim() {
+    const std::uint64_t e = mgr_->epoch();
+    std::size_t freed = 0;
+    std::size_t keep = 0;
+    for (Retired& r : limbo_) {
+      if (r.epoch + 2 <= e) {
+        r.deleter(r.ptr);
+        ++freed;
+      } else {
+        limbo_[keep++] = r;
+      }
+    }
+    limbo_.resize(keep);
+    // freed > 0 guard matters in the destructor: with an already-empty
+    // limbo the bound TxStats may legitimately be gone by then, and a
+    // zero-add would still be a use-after-free.
+    if (stats_ != nullptr && freed > 0) stats_->epoch_reclaims += freed;
+    return freed;
+  }
+
+  static constexpr std::uint32_t kAdvanceEvery = 64;
+
+  EpochManager* mgr_;
+  unsigned slot_;
+  bool pinned_ = false;
+  std::uint32_t retires_since_scan_ = 0;
+  std::vector<Retired> limbo_;
+  TxStats* stats_ = nullptr;
+};
+
+}  // namespace semstm

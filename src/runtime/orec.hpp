@@ -17,6 +17,8 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <new>
+#include <type_traits>
 
 #include "core/word.hpp"
 #include "util/padded.hpp"
@@ -79,9 +81,17 @@ class OrecTable {
  public:
   /// `log2_size` trades memory for fewer false conflicts (hash collisions);
   /// bench/ablation sweeps it. Default 2^16 orecs.
+  ///
+  /// Layout (padding audit, DESIGN.md §4.16): orecs are deliberately NOT
+  /// padded individually — striping four 16-byte orecs per line is the
+  /// design (2^16 slots would quadruple to 4 MiB padded), and adjacent
+  /// stripes sharing a line only costs locality under contention, never
+  /// correctness. What IS guaranteed is the table base's alignment: the
+  /// slab starts on a cache-line boundary, so no orec straddles two lines
+  /// and the stripe <-> line mapping is stable across runs.
   explicit OrecTable(unsigned log2_size = 16)
       : mask_((std::size_t{1} << log2_size) - 1),
-        slots_(std::make_unique<Orec[]>(std::size_t{1} << log2_size)) {}
+        slots_(make_slots(std::size_t{1} << log2_size)) {}
 
   Orec& of(const tword* addr) noexcept {
     auto h = reinterpret_cast<std::uintptr_t>(addr) >> 3;
@@ -102,8 +112,28 @@ class OrecTable {
   }
 
  private:
+  struct AlignedFree {
+    void operator()(Orec* p) const noexcept {
+      // Orec is trivially destructible (two atomics), so releasing the
+      // raw slab without per-element destruction is exact.
+      ::operator delete(static_cast<void*>(p), std::align_val_t{kCacheLine});
+    }
+  };
+  static_assert(std::is_trivially_destructible_v<Orec>,
+                "AlignedFree skips destructors");
+  static_assert(kCacheLine % sizeof(Orec) == 0,
+                "orecs are deliberately striped (not padded), but with a "
+                "line-aligned slab base none may straddle a cache line");
+
+  static std::unique_ptr<Orec[], AlignedFree> make_slots(std::size_t n) {
+    void* raw = ::operator new(n * sizeof(Orec), std::align_val_t{kCacheLine});
+    Orec* first = static_cast<Orec*>(raw);
+    for (std::size_t i = 0; i < n; ++i) ::new (first + i) Orec();
+    return std::unique_ptr<Orec[], AlignedFree>(first);
+  }
+
   std::size_t mask_;
-  std::unique_ptr<Orec[]> slots_;
+  std::unique_ptr<Orec[], AlignedFree> slots_;
 };
 
 }  // namespace semstm

@@ -15,10 +15,22 @@
 //   - The token holder *releases* after its commit; blocked transactions
 //     resume and re-sample their snapshots in begin() as usual.
 //
+// Scalability (DESIGN.md §4.16): the in-flight count is an ANNOUNCE ARRAY —
+// kSlots cache-line-padded counters, each transaction registering on the
+// slot its identity hashes to — instead of one global counter. On the fast
+// path (no token holder, i.e. essentially always) every transaction
+// begin/end RMWs only its own slot's line, so N cores no longer ping-pong a
+// single in-flight line on every transaction. The rare acquirer pays the
+// scan: it drains each slot to zero in turn. Two identities hashing to one
+// slot merely share a counter (and its line) — the protocol only ever asks
+// "is this slot zero", so collisions cost locality, never correctness.
+//
 // Deadlock-freedom argument: token acquisition happens only between attempts
 // (no locks/snapshots held), entry waiters hold nothing either, and every
 // entered transaction finishes in finite time (all its waits tick through
-// sched::spin_pause(), so the fiber simulator keeps the system live too).
+// SpinWait::pause(), which in sim is sched::spin_pause(), so the fiber
+// simulator keeps the system live too; in real-thread mode it escalates to
+// OS yields instead of burning a core).
 //
 // Observability (src/obs): a conflict abort taken while another transaction
 // holds (or is draining into) the token is reclassified by Tx::abort_tx()
@@ -31,6 +43,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "runtime/spinwait.hpp"
 #include "sched/yieldpoint.hpp"
 #include "util/padded.hpp"
 
@@ -38,6 +51,8 @@ namespace semstm {
 
 class SerialGate {
  public:
+  static constexpr std::size_t kSlots = 16;  ///< announce-array width
+
   /// True while some transaction holds the serial-irrevocable token.
   bool held() const noexcept {
     return owner_.value.load(std::memory_order_acquire) != nullptr;
@@ -49,57 +64,70 @@ class SerialGate {
   }
 
   /// Normal-transaction entry: wait out any token holder, then register as
-  /// in-flight. The add/re-check/undo dance closes the race with a holder
-  /// that acquired the token between our check and our registration.
+  /// in-flight on the announce slot `self` hashes to. The add/re-check/undo
+  /// dance closes the race with a holder that acquired the token between
+  /// our check and our registration.
   ///
   /// Mutual-quiescence argument (litmus-audited; tests/test_litmus.cpp
   /// SerialGate suite DFS-enumerates every interleaving of this code
   /// against acquire()/release()): entry is granted only by the
   /// `!held()` re-check, which runs strictly AFTER our fetch_add is
-  /// visible (both touch seq_cst-free atomics, but the fetch_add is
-  /// acq_rel RMW and the owner_ load is acquire — on the single
-  /// modification order of each atomic, either our add precedes the
-  /// acquirer's drain read of active_, in which case the acquirer waits
-  /// for our exit(), or the acquirer's owner_ CAS precedes our re-check
-  /// load, in which case we observe held() and undo. Neither side can
-  /// miss the other: there is no window where an enterer is past the
-  /// re-check while the acquirer is past the drain with active_ == 0.
-  /// The sched_point marks the adversarial window (registered but not
-  /// yet re-checked) for the schedule explorer.
-  void enter() {
+  /// visible. On the single modification order of our slot's atomic,
+  /// either our add precedes the acquirer's drain read of that slot, in
+  /// which case the acquirer waits for our exit(), or the acquirer's
+  /// owner_ CAS precedes our re-check load, in which case we observe
+  /// held() and undo. Neither side can miss the other: there is no window
+  /// where an enterer is past the re-check while the acquirer is past
+  /// that slot's drain with the slot at 0. Splitting the counter across
+  /// slots does not weaken this — the argument is per-slot, and an
+  /// enterer only ever registers on one slot. The sched_point marks the
+  /// adversarial window (registered but not yet re-checked) for the
+  /// schedule explorer.
+  void enter(const void* self) {
+    std::atomic<std::uint64_t>& slot = slot_of(self);
+    SpinWait spin;
     for (;;) {
-      while (held()) sched::spin_pause();
+      while (held()) spin.pause();
       sched::sched_point();  // window: observed free, not yet registered —
                              // an acquirer may CAS AND pass the drain here,
                              // which is exactly what the re-check below
                              // exists to catch
-      active_.value.fetch_add(1, std::memory_order_acq_rel);
+      slot.fetch_add(1, std::memory_order_acq_rel);
       sched::sched_point();  // window: registered, holder may CAS now
       if (!held()) return;
-      active_.value.fetch_sub(1, std::memory_order_acq_rel);
+      slot.fetch_sub(1, std::memory_order_acq_rel);
       sched::sched_point();  // window: undone, must re-wait
     }
   }
 
   /// Normal-transaction exit (attempt ended: committed or rolled back).
-  void exit() noexcept {
-    active_.value.fetch_sub(1, std::memory_order_acq_rel);
+  /// Must be called with the same identity as the matching enter().
+  void exit(const void* self) noexcept {
+    slot_of(self).fetch_sub(1, std::memory_order_acq_rel);
   }
 
   /// Become serial-irrevocable: contend for the token, then quiesce — wait
-  /// until every registered transaction has exited. Call only between
-  /// attempts (no transactional state held).
+  /// until every registered transaction has exited, slot by slot. Call
+  /// only between attempts (no transactional state held). The slot scan
+  /// pauses exactly once per probe of a still-nonzero slot, so in sim the
+  /// yield cadence is identical to the old single-counter drain: one
+  /// spin_pause per scheduler slice until the last in-flight transaction
+  /// exits (zero slots are skipped with pure loads, which cost no ticks).
   void acquire(const void* self) {
+    SpinWait spin;
     const void* expected = nullptr;
     while (!owner_.value.compare_exchange_weak(expected, self,
                                                std::memory_order_acq_rel,
                                                std::memory_order_relaxed)) {
       expected = nullptr;
-      sched::spin_pause();
+      spin.pause();
     }
     sched::sched_point();  // window: token taken, drain not yet observed
-    while (active_.value.load(std::memory_order_acquire) != 0) {
-      sched::spin_pause();
+    spin.reset();
+    for (std::size_t s = 0; s < kSlots; ++s) {
+      while (active_[s].value.load(std::memory_order_acquire) != 0) {
+        spin.pause();
+      }
     }
   }
 
@@ -117,8 +145,26 @@ class SerialGate {
   }
 
  private:
+  /// Hash an identity onto its announce slot. Identities are descriptor
+  /// addresses (TxCoreBase::tx_id()): strip allocation-granularity low
+  /// bits, mix, take high bits. Must be stable per identity — exit() must
+  /// find the slot enter() bumped.
+  std::atomic<std::uint64_t>& slot_of(const void* self) noexcept {
+    std::uintptr_t h = reinterpret_cast<std::uintptr_t>(self) >> 4;
+    h *= 0x9E3779B97F4A7C15ULL;
+    return active_[(h >> 60) & (kSlots - 1)].value;
+  }
+
   Padded<std::atomic<const void*>> owner_{};  ///< token: null = free
-  Padded<std::atomic<std::uint64_t>> active_{};  ///< in-flight transactions
+  /// In-flight announce array: one padded counter per slot; a transaction
+  /// is in flight iff it holds +1 on its slot.
+  Padded<std::atomic<std::uint64_t>> active_[kSlots];
+
+  static_assert(alignof(Padded<std::atomic<const void*>>) >= kCacheLine,
+                "gate token must own its cache line");
+  static_assert(alignof(Padded<std::atomic<std::uint64_t>>) >= kCacheLine &&
+                    sizeof(Padded<std::atomic<std::uint64_t>>) >= kCacheLine,
+                "announce slots must not share cache lines");
 };
 
 }  // namespace semstm

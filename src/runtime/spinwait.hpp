@@ -1,0 +1,72 @@
+// SpinWait: bounded-escalation busy-wait for the commit-path spin loops
+// (SeqLock sampling, serial-gate entry and drain, the CGL lock).
+//
+// The contract splits by execution substrate (sched/yieldpoint.hpp):
+//
+//  - Simulator / litmus mode (a YieldHook is installed): every pause() is
+//    exactly ONE sched::spin_pause(). That is the same yield-point cadence
+//    the fiber scheduler and the schedule-exploration controller have
+//    always seen from the raw spin loops, so committed sim baselines and
+//    the PR 6 litmus witness schedules replay bit-identically.
+//
+//  - Real-thread mode (hook == nullptr): a descheduled or stalled lock
+//    holder must not make waiters burn a core at full speed. pause()
+//    escalates in three tiers: a single CPU pause, then exponentially
+//    growing pause bursts (local spinning — the watched line stays in
+//    shared state, no cross-core write traffic while we wait), and past
+//    kYieldAfter rounds an OS yield so the holder can actually be
+//    scheduled on an oversubscribed host.
+//
+// A SpinWait is a per-wait-site local object: construct it outside the
+// loop, call pause() per failed probe, and (optionally) reset() after a
+// successful acquisition if the same object guards a subsequent wait.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#include "sched/yieldpoint.hpp"
+
+namespace semstm {
+
+class SpinWait {
+ public:
+  void pause() {
+    if (sched::hook() != nullptr) {
+      // Sim: one yield point per probe — the historical contract. The
+      // escalation state deliberately stays untouched so a hook installed
+      // mid-wait (impossible today, cheap to be robust against) cannot
+      // skew the real-mode tiers.
+      sched::spin_pause();
+      return;
+    }
+    if (rounds_ < kYieldAfter) {
+      const std::uint32_t burst = 1u << (rounds_ < kMaxBurstLog2
+                                             ? rounds_
+                                             : kMaxBurstLog2);
+      for (std::uint32_t i = 0; i < burst; ++i) cpu_relax();
+      ++rounds_;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  /// Restart the escalation ladder (call after the watched condition was
+  /// met once, before reusing this object for another wait).
+  void reset() noexcept { rounds_ = 0; }
+
+ private:
+  static void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield" ::: "memory");
+#endif
+  }
+
+  static constexpr std::uint32_t kMaxBurstLog2 = 6;  ///< cap bursts at 64
+  static constexpr std::uint32_t kYieldAfter = 10;   ///< then OS-yield
+  std::uint32_t rounds_ = 0;
+};
+
+}  // namespace semstm

@@ -77,16 +77,16 @@ TEST(SerialGate, TokenStateMachine) {
   SerialGate g;
   int a = 0, b = 0;
   EXPECT_FALSE(g.held());
-  g.enter();
-  g.exit();
+  g.enter(&b);
+  g.exit(&b);
   g.acquire(&a);
   EXPECT_TRUE(g.held());
   EXPECT_TRUE(g.held_by(&a));
   EXPECT_FALSE(g.held_by(&b));
   g.release();
   EXPECT_FALSE(g.held());
-  g.enter();  // reusable after release
-  g.exit();
+  g.enter(&b);  // reusable after release
+  g.exit(&b);
 }
 
 // ---------------------------------------------------------------------------

@@ -444,11 +444,11 @@ class GateLitmus final : public sched::LitmusTest {
 
   void thread(unsigned tid) override {
     if (tid == 0) {
-      gate_->enter();
+      gate_->enter(&in_serial_);  // any stable identity picks the slot
       if (in_serial_) overlap_ = true;
       sched::sched_point();
       if (in_serial_) overlap_ = true;
-      gate_->exit();
+      gate_->exit(&in_serial_);
     } else {
       gate_->acquire(this);
       in_serial_ = true;
@@ -548,6 +548,10 @@ TEST(LitmusRealThreads, GateStress_real) {
   std::atomic<int> in_serial{0};
   std::atomic<int> overlaps{0};
   sched::run_threads(4, [&](unsigned tid) {
+    // Per-thread stack identity: distinct threads land on (usually)
+    // distinct announce slots, exercising the multi-slot drain.
+    int self_storage = 0;
+    const void* self = &self_storage;
     for (int i = 0; i < 200; ++i) {
       if (tid == 0) {
         gate.acquire(&gate);
@@ -555,9 +559,9 @@ TEST(LitmusRealThreads, GateStress_real) {
         in_serial.store(0, std::memory_order_relaxed);
         gate.release();
       } else {
-        gate.enter();
+        gate.enter(self);
         if (in_serial.load(std::memory_order_relaxed) != 0) ++overlaps;
-        gate.exit();
+        gate.exit(self);
       }
     }
   });

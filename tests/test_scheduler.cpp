@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sched/litmus.hpp"
@@ -382,6 +384,50 @@ TEST(RunThreads, ReturnsNormallyWhenNoBodyThrows_real) {
       3, [&](unsigned) { ran.fetch_add(1, std::memory_order_relaxed); });
   EXPECT_EQ(ran.load(), 3u);
   EXPECT_GE(r.seconds, 0.0);
+}
+
+TEST(RunThreads, ZeroThreadsIsANoOp_real) {
+  // n == 0: nothing to spawn, the barrier trivially releases, the body is
+  // never invoked and the call must not hang on the ready count.
+  bool ran = false;
+  const RealResult r = run_threads(0, [&](unsigned) { ran = true; });
+  EXPECT_FALSE(ran);
+  EXPECT_GE(r.seconds, 0.0);
+}
+
+TEST(RunThreads, SingleThreadRunsBodyOnceWithTidZero_real) {
+  std::atomic<unsigned> calls{0};
+  std::atomic<unsigned> seen_tid{1234};
+  run_threads(1, [&](unsigned tid) {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    seen_tid.store(tid, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(calls.load(), 1u);
+  EXPECT_EQ(seen_tid.load(), 0u);
+}
+
+TEST(RunThreads, BarrierReleasesAllBodiesConcurrently_real) {
+  // The start barrier admits no body until every thread is spawned and
+  // ready, then releases them together: each body can therefore wait to
+  // observe all n bodies entered. If bodies ran sequentially (no barrier),
+  // the first one would sit at the rendezvous until the deadline.
+  constexpr unsigned kN = 4;
+  std::atomic<unsigned> entered{0};
+  std::atomic<bool> timed_out{false};
+  run_threads(kN, [&](unsigned) {
+    entered.fetch_add(1, std::memory_order_acq_rel);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (entered.load(std::memory_order_acquire) != kN) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        timed_out.store(true, std::memory_order_relaxed);
+        return;
+      }
+      std::this_thread::yield();
+    }
+  });
+  EXPECT_FALSE(timed_out.load()) << "bodies did not overlap: barrier broken";
+  EXPECT_EQ(entered.load(), kN);
 }
 
 }  // namespace

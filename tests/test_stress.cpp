@@ -159,6 +159,24 @@ TEST_P(Stress, MixedSemanticAndPlainOpsStayAtomic) {
   EXPECT_EQ(r.stats.commits, 4u * 500u);
 }
 
+TEST_P(Stress, AbortAccountingPartitionsExactly) {
+  // The core/stats.hpp contract must hold under genuine races too, not
+  // just on the deterministic simulator: every abort is attributed to
+  // exactly one cause, and attempts partition into commits/aborts/
+  // exceptions — no event may be dropped or double-counted when the
+  // counters race through real-thread commit paths.
+  BankWorkload w;
+  const RunResult r = run_workload(config(6, 400), w);
+  std::uint64_t cause_sum = 0;
+  for (std::size_t c = 0; c < obs::kAbortCauseCount; ++c) {
+    cause_sum += r.stats.abort_causes[c];
+  }
+  EXPECT_EQ(r.stats.aborts, cause_sum);
+  EXPECT_EQ(r.stats.starts,
+            r.stats.commits + r.stats.aborts + r.stats.exceptions);
+  w.verify();
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AlgorithmsByMode, Stress,
     ::testing::Combine(::testing::Values("cgl", "norec", "snorec", "tl2",
