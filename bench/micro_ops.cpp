@@ -16,6 +16,9 @@
 #include "containers/tarray.hpp"
 #include "sched/thread_runner.hpp"
 #include "semstm.hpp"
+#include "tmir/interp.hpp"
+#include "tmir/kernels.hpp"
+#include "tmir/passes.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -227,6 +230,110 @@ void BM_WriteSetLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_WriteSetLookup)->RangeMultiplier(4)->Range(4, 1024)
     ->Complexity(benchmark::oN);
+
+// ---------------------------------------------------------------------------
+// Executed-TM-barrier counts per kernel (DESIGN.md §4.17): each built-in
+// tmir kernel runs raw and through the alias pipeline (tm_rbe + tm_mark +
+// tm_optimize) under snorec, with InterpOptions::barriers tallying every
+// barrier the interpreter actually issues. The workloads pin a constant
+// control-flow path — probe/remove miss on an empty table, insert hits a
+// pre-seeded duplicate, reserve's records are re-armed before every op,
+// center_update is straight-line — so the per-op counters are exact
+// integers, and scripts/ci_perf_smoke.sh gates on them *exactly*: a
+// reintroduced barrier fails CI even when nanoseconds stay flat.
+// ---------------------------------------------------------------------------
+
+const char* tmir_kernel_name(int idx) {
+  static const char* names[] = {"probe", "insert", "remove", "reserve",
+                                "center_update"};
+  return names[idx];
+}
+
+tmir::Function build_tmir_kernel(int idx) {
+  switch (idx) {
+    case 0: return tmir::build_probe_kernel();
+    case 1: return tmir::build_insert_kernel();
+    case 2: return tmir::build_remove_kernel();
+    case 3: return tmir::build_reserve_kernel(4);
+    default: return tmir::build_center_update_kernel(8);
+  }
+}
+
+void BM_TmirKernelBarriers(benchmark::State& state) {
+  const int which = static_cast<int>(state.range(0));
+  const bool optimized = state.range(1) != 0;
+  Bound b("snorec");
+
+  tmir::Function f = build_tmir_kernel(which);
+  if (optimized) {
+    tmir::pass_tm_rbe(f);
+    tmir::pass_tm_mark(f);
+    tmir::pass_tm_optimize(f);
+  }
+
+  // Shared state sized for the constant paths described above.
+  constexpr std::size_t kCap = 16;
+  constexpr unsigned kCandidates = 4;
+  constexpr unsigned kFeatures = 8;
+  constexpr word_t kKey = 7;
+  constexpr word_t kStart = kKey % kCap;
+  TArray<std::int64_t> states(kCap, 0), keys(kCap, 0);
+  TArray<std::int64_t> numfree(kCandidates, 3), price(kCandidates, 0);
+  TArray<std::int64_t> record(kFeatures + 1, 0);
+  for (unsigned i = 0; i < kCandidates; ++i) {
+    price[i].unsafe_set(100 + static_cast<long>(i));
+  }
+  if (which == 1) {  // insert takes its duplicate path: no table mutation
+    states[kStart].unsafe_set(1);
+    keys[kStart].unsafe_set(static_cast<long>(kKey));
+  }
+
+  std::vector<word_t> args;
+  switch (which) {
+    case 0:
+    case 1:
+    case 2:
+      args = {to_word(states[0].word()), to_word(keys[0].word()),
+              kCap - 1,                  kStart,
+              kKey,                      kCap};
+      break;
+    case 3:
+      args = {to_word(numfree[0].word()), to_word(price[0].word())};
+      for (word_t id = 0; id < kCandidates; ++id) args.push_back(id);
+      break;
+    default:
+      args = {to_word(record[0].word())};
+      for (word_t v = 1; v <= kFeatures; ++v) args.push_back(v);
+      break;
+  }
+
+  tmir::BarrierCounts counts;
+  tmir::InterpOptions iopts;
+  iopts.barriers = &counts;
+  for (auto _ : state) {
+    if (which == 3) {
+      // Re-arm the records so reserve's numFree > 0 scan never changes path.
+      for (unsigned i = 0; i < kCandidates; ++i) numfree[i].unsafe_set(3);
+    }
+    benchmark::DoNotOptimize(atomically([&](Tx& tx) {
+      return tmir::execute(tx, f, args.data(), args.size(), iopts);
+    }));
+  }
+
+  const auto per_op = [](std::uint64_t c) {
+    return benchmark::Counter(static_cast<double>(c),
+                              benchmark::Counter::kAvgIterations);
+  };
+  state.counters["tm_loads_per_op"] = per_op(counts.tm_loads);
+  state.counters["tm_stores_per_op"] = per_op(counts.tm_stores);
+  state.counters["tm_cmps_per_op"] = per_op(counts.tm_cmps);
+  state.counters["tm_incs_per_op"] = per_op(counts.tm_incs);
+  state.counters["tm_barriers_per_op"] = per_op(counts.total());
+  state.SetLabel(std::string(tmir_kernel_name(which)) +
+                 (optimized ? "/opt" : "/raw"));
+}
+BENCHMARK(BM_TmirKernelBarriers)
+    ->ArgsProduct({benchmark::CreateDenseRange(0, 4, /*step=*/1), {0, 1}});
 
 }  // namespace
 

@@ -1,13 +1,22 @@
 // tmir_lint: run the full static-analysis pipeline over every built-in
 // kernel and report per-pass statistics and diagnostics.
 //
-//   verify -> tm_mark -> tm_lint -> tm_optimize -> verify
+// Two pipelines run per kernel and are reported side by side:
 //
-//   $ ./tmir_lint            # all kernels
+//   baseline:  verify -> tm_mark(alias off) -> tm_lint -> tm_optimize
+//   alias:     verify -> tm_rbe -> tm_mark -> tm_lint -> tm_optimize
+//
+// with a verify + lint sweep after every mutating stage. The per-kernel
+// `barriers before/after` lines count statically live TM barriers
+// (loads + stores + semantic cmps/incs) — the instrumentation the
+// interpreter would actually execute on a straight-line pass.
+//
+//   $ ./tmir_lint            # all kernels, text report
 //   $ ./tmir_lint probe      # just the named kernel(s)
+//   $ ./tmir_lint --json     # machine-readable report for CI
 //
 // Exit code 0 when every stage is clean, 2 on any diagnostic — CI can
-// gate on it directly.
+// gate on it directly (scripts/ci_lint.sh does).
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -39,76 +48,182 @@ constexpr NamedKernel kKernels[] = {
     {"center_update", build_center8},
 };
 
+/// Statically live TM barriers: what a straight-line execution would pay.
+std::size_t live_barriers(const Function& f) {
+  return f.count(Op::kTmLoad).live + f.count(Op::kTmStore).live +
+         f.count(Op::kTmCmp1).live + f.count(Op::kTmCmp2).live +
+         f.count(Op::kTmInc).live;
+}
+
+struct KernelReport {
+  std::string name;
+  std::size_t issues = 0;
+  std::size_t barriers_before = 0;
+  // baseline pipeline (PR 5: no alias analysis, no rbe)
+  MarkStats base_mark;
+  OptimizeStats base_opt;
+  std::size_t base_barriers_after = 0;
+  // alias pipeline (rbe + alias-aware mark)
+  RbeStats rbe;
+  MarkStats mark;
+  OptimizeStats opt;
+  LintStats lint;
+  std::size_t barriers_after = 0;
+  std::size_t tm_loads_live = 0;
+  std::size_t tm_loads_dead = 0;
+};
+
 std::size_t print_diags(const Function& f, const char* stage,
-                        const std::vector<Diagnostic>& diags) {
+                        const std::vector<Diagnostic>& diags, bool quiet) {
   for (const Diagnostic& d : diags) {
-    std::printf("  %s: DIAGNOSTIC %s\n", stage,
-                format_diagnostic(f, d).c_str());
+    std::fprintf(quiet ? stderr : stdout, "  %s: DIAGNOSTIC %s\n", stage,
+                 format_diagnostic(f, d).c_str());
   }
   return diags.size();
 }
 
-std::size_t lint_kernel(const NamedKernel& k) {
-  Function f = k.build();
-  std::size_t issues = 0;
+KernelReport lint_kernel(const NamedKernel& k, bool json) {
+  KernelReport r;
+  r.name = k.name;
 
-  std::printf("== %s: %zu blocks, %u temps, %u locals, %zu TM loads ==\n",
-              k.name, f.blocks.size(), f.num_temps, f.num_locals,
-              f.count_op(Op::kTmLoad));
-  issues += print_diags(f, "verify(raw)", pass_verify(f));
-
-  const MarkStats ms = pass_tm_mark(f);
-  std::printf("  tm_mark:     s1r=%zu s2r=%zu sw=%zu skipped_clobbered=%zu\n",
-              ms.s1r, ms.s2r, ms.sw, ms.skipped_clobbered);
-  issues += print_diags(f, "verify(marked)", pass_verify(f));
-
-  LintStats ls;
-  issues += print_diags(f, "tm_lint", pass_tm_lint(f, &ls));
-  std::printf("  tm_lint:     re-proved %zu s1r + %zu s2r + %zu sw rewrites\n",
-              ls.checked_s1r, ls.checked_s2r, ls.checked_sw);
-
-  const OptimizeStats os = pass_tm_optimize(f);
-  const OpCount loads = f.count(Op::kTmLoad);
-  std::printf("  tm_optimize: removed_tm_loads=%zu removed_other=%zu\n",
-              os.removed_tm_loads, os.removed_other);
-  std::printf("  TM loads:    %zu live / %zu dead (was %zu)\n", loads.live,
-              loads.dead, loads.total());
-  issues += print_diags(f, "verify(optimized)", pass_verify(f));
-  issues += print_diags(f, "tm_lint(optimized)", pass_tm_lint(f));
-
-  if (os.removed_tm_loads != loads.dead) {
-    std::printf("  DIAGNOSTIC stats drift: removed_tm_loads=%zu but %zu dead "
-                "loads in the IR\n",
-                os.removed_tm_loads, loads.dead);
-    ++issues;
+  // Baseline pipeline — the comparison column.
+  {
+    Function f = k.build();
+    r.barriers_before = live_barriers(f);
+    r.issues += print_diags(f, "base/verify(raw)", pass_verify(f), json);
+    r.base_mark = pass_tm_mark(f, {.use_alias = false});
+    r.issues += print_diags(f, "base/verify(marked)", pass_verify(f), json);
+    r.issues += print_diags(f, "base/tm_lint", pass_tm_lint(f), json);
+    r.base_opt = pass_tm_optimize(f);
+    r.issues += print_diags(f, "base/verify(optimized)", pass_verify(f), json);
+    r.issues += print_diags(f, "base/tm_lint(optimized)", pass_tm_lint(f),
+                            json);
+    r.base_barriers_after = live_barriers(f);
   }
-  return issues;
+
+  // Alias pipeline — redundant-barrier elimination, then alias-aware mark.
+  Function f = k.build();
+  r.issues += print_diags(f, "verify(raw)", pass_verify(f), json);
+  r.rbe = pass_tm_rbe(f);
+  r.issues += print_diags(f, "verify(rbe)", pass_verify(f), json);
+  r.issues += print_diags(f, "tm_lint(rbe)", pass_tm_lint(f), json);
+  r.mark = pass_tm_mark(f);
+  r.issues += print_diags(f, "verify(marked)", pass_verify(f), json);
+  r.issues += print_diags(f, "tm_lint", pass_tm_lint(f, &r.lint), json);
+  r.opt = pass_tm_optimize(f);
+  r.issues += print_diags(f, "verify(optimized)", pass_verify(f), json);
+  r.issues += print_diags(f, "tm_lint(optimized)", pass_tm_lint(f), json);
+  r.barriers_after = live_barriers(f);
+  const OpCount loads = f.count(Op::kTmLoad);
+  r.tm_loads_live = loads.live;
+  r.tm_loads_dead = loads.dead;
+
+  // Every dead TM load must trace to exactly one killer.
+  const std::size_t forwarded =
+      r.rbe.load_load_forwarded + r.rbe.store_load_forwarded;
+  if (r.opt.removed_tm_loads + forwarded != loads.dead) {
+    std::fprintf(stderr,
+                 "  DIAGNOSTIC stats drift: removed=%zu forwarded=%zu but "
+                 "%zu dead loads in the IR\n",
+                 r.opt.removed_tm_loads, forwarded, loads.dead);
+    ++r.issues;
+  }
+  return r;
+}
+
+void print_text(const KernelReport& r) {
+  std::printf("== %s ==\n", r.name.c_str());
+  std::printf("  baseline:    s1r=%zu s2r=%zu sw=%zu skipped_clobbered=%zu "
+              "removed_tm_loads=%zu\n",
+              r.base_mark.s1r, r.base_mark.s2r, r.base_mark.sw,
+              r.base_mark.skipped_clobbered, r.base_opt.removed_tm_loads);
+  std::printf("  tm_rbe:      load_load=%zu store_load=%zu dead_stores=%zu\n",
+              r.rbe.load_load_forwarded, r.rbe.store_load_forwarded,
+              r.rbe.dead_stores);
+  std::printf("  tm_mark:     s1r=%zu s2r=%zu sw=%zu recovered_noalias=%zu "
+              "skipped_clobbered=%zu\n",
+              r.mark.s1r, r.mark.s2r, r.mark.sw, r.mark.recovered_noalias,
+              r.mark.skipped_clobbered);
+  std::printf("  tm_lint:     re-proved %zu s1r + %zu s2r + %zu sw + "
+              "%zu forwards + %zu dead stores\n",
+              r.lint.checked_s1r, r.lint.checked_s2r, r.lint.checked_sw,
+              r.lint.checked_rbe_forwards, r.lint.checked_rbe_dead_stores);
+  std::printf("  tm_optimize: removed_tm_loads=%zu removed_other=%zu\n",
+              r.opt.removed_tm_loads, r.opt.removed_other);
+  std::printf("  TM loads:    %zu live / %zu dead\n", r.tm_loads_live,
+              r.tm_loads_dead);
+  std::printf("  barriers:    before=%zu baseline=%zu alias=%zu\n",
+              r.barriers_before, r.base_barriers_after, r.barriers_after);
+}
+
+void print_json(const std::vector<KernelReport>& reports,
+                std::size_t issues) {
+  std::printf("{\n  \"kernels\": [\n");
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const KernelReport& r = reports[i];
+    std::printf("    {\n");
+    std::printf("      \"name\": \"%s\",\n", r.name.c_str());
+    std::printf("      \"issues\": %zu,\n", r.issues);
+    std::printf("      \"barriers_before\": %zu,\n", r.barriers_before);
+    std::printf("      \"barriers_after\": %zu,\n", r.barriers_after);
+    std::printf("      \"baseline\": {\"s1r\": %zu, \"s2r\": %zu, "
+                "\"sw\": %zu, \"skipped_clobbered\": %zu, "
+                "\"removed_tm_loads\": %zu, \"barriers_after\": %zu},\n",
+                r.base_mark.s1r, r.base_mark.s2r, r.base_mark.sw,
+                r.base_mark.skipped_clobbered, r.base_opt.removed_tm_loads,
+                r.base_barriers_after);
+    std::printf("      \"alias\": {\"rbe_load_load\": %zu, "
+                "\"rbe_store_load\": %zu, \"rbe_dead_stores\": %zu, "
+                "\"s1r\": %zu, \"s2r\": %zu, \"sw\": %zu, "
+                "\"recovered_noalias\": %zu, \"skipped_clobbered\": %zu, "
+                "\"removed_tm_loads\": %zu, \"tm_loads_live\": %zu}\n",
+                r.rbe.load_load_forwarded, r.rbe.store_load_forwarded,
+                r.rbe.dead_stores, r.mark.s1r, r.mark.s2r, r.mark.sw,
+                r.mark.recovered_noalias, r.mark.skipped_clobbered,
+                r.opt.removed_tm_loads, r.tm_loads_live);
+    std::printf("    }%s\n", i + 1 < reports.size() ? "," : "");
+  }
+  std::printf("  ],\n  \"issues\": %zu\n}\n", issues);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool json = false;
+  std::vector<const char*> wanted_names;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      wanted_names.push_back(argv[i]);
+    }
+  }
+
   std::size_t issues = 0;
-  std::size_t matched = 0;
+  std::vector<KernelReport> reports;
   for (const NamedKernel& k : kKernels) {
-    bool wanted = argc < 2;
-    for (int i = 1; i < argc; ++i) {
-      wanted = wanted || std::strcmp(argv[i], k.name) == 0;
+    bool wanted = wanted_names.empty();
+    for (const char* n : wanted_names) {
+      wanted = wanted || std::strcmp(n, k.name) == 0;
     }
     if (!wanted) continue;
-    ++matched;
-    issues += lint_kernel(k);
+    KernelReport r = lint_kernel(k, json);
+    issues += r.issues;
+    if (!json) print_text(r);
+    reports.push_back(std::move(r));
   }
-  if (matched == 0) {
+  if (reports.empty()) {
     std::fprintf(stderr, "tmir_lint: no kernel matches; known:");
     for (const NamedKernel& k : kKernels) std::fprintf(stderr, " %s", k.name);
     std::fprintf(stderr, "\n");
     return 2;
   }
-  if (issues != 0) {
+  if (json) {
+    print_json(reports, issues);
+  } else if (issues != 0) {
     std::printf("tmir_lint: %zu diagnostics\n", issues);
-    return 2;
+  } else {
+    std::printf("tmir_lint: all pipelines clean\n");
   }
-  std::printf("tmir_lint: all pipelines clean\n");
-  return 0;
+  return issues != 0 ? 2 : 0;
 }

@@ -11,6 +11,12 @@
 #               threshold 30% — virtual ticks are deterministic and
 #               load-independent, so anything beyond small cost-model
 #               drift is a real hot-path regression.
+#   barriers    executed-TM-barrier counters (tm_*_per_op) on the
+#               BM_TmirKernelBarriers family, gated EXACTLY: the workloads
+#               pin constant control-flow paths, so the counters are
+#               deterministic integers and any increase means a pass
+#               reintroduced a barrier — a regression nanosecond noise
+#               would hide.
 #
 # When a PR moves performance *intentionally*, regenerate the baselines
 # with scripts/bench_baseline.sh and commit them alongside the change.
@@ -50,22 +56,31 @@ MICRO_THRESHOLD = 0.50  # fresh may be up to 50% slower than baseline
 # the family cannot silently vanish from the suite.
 REAL_PREFIX = "BM_RealThreadScaling"
 REAL_THRESHOLD = 1.50
+# Executed-barrier counters are deterministic (constant-path workloads,
+# single-threaded so no aborted attempts): gate them exactly, not by
+# threshold. A fresh count above baseline means a barrier came back.
+BARRIER_PREFIX = "BM_TmirKernelBarriers"
+COUNTER_KEYS = ("tm_loads_per_op", "tm_stores_per_op", "tm_cmps_per_op",
+                "tm_incs_per_op", "tm_barriers_per_op")
 
 def micro_times(path):
     with open(path) as f:
         doc = json.load(f)
-    times, real = {}, {}
+    times, real, barriers = {}, {}, {}
     for b in doc.get("benchmarks", []):
         if b.get("run_type", "iteration") != "iteration":
             continue
         if b["name"].startswith(REAL_PREFIX):
             real[b["name"]] = float(b["real_time"])
-        else:
-            times[b["name"]] = float(b["cpu_time"])
-    return times, real, doc.get("context", {}).get("num_cpus")
+            continue
+        times[b["name"]] = float(b["cpu_time"])
+        if b["name"].startswith(BARRIER_PREFIX):
+            barriers[b["name"]] = {k: b[k] for k in COUNTER_KEYS if k in b}
+    return times, real, barriers, doc.get("context", {}).get("num_cpus")
 
-base, base_real, base_cpus = micro_times("BENCH_micro.json")
-fresh, fresh_real, fresh_cpus = micro_times(f"{tmpdir}/BENCH_micro.json")
+base, base_real, base_barriers, base_cpus = micro_times("BENCH_micro.json")
+fresh, fresh_real, fresh_barriers, fresh_cpus = (
+    micro_times(f"{tmpdir}/BENCH_micro.json"))
 for name, t0 in sorted(base.items()):
     t1 = fresh.get(name)
     if t1 is None:
@@ -89,6 +104,28 @@ for name, t0 in sorted(base_real.items()):
             f"micro: {name}: real_time {t0:.1f} -> {t1:.1f} "
             f"(+{100*(t1-t0)/t0:.0f}% > {100*REAL_THRESHOLD:.0f}% on "
             f"identical {base_cpus}-cpu topology)")
+
+# --- tmir executed-barrier counters: exact gate ------------------------
+if not base_barriers:
+    failures.append("micro: baseline has no tmir barrier benchmarks "
+                    "(regenerate with scripts/bench_baseline.sh)")
+for name, c0 in sorted(base_barriers.items()):
+    c1 = fresh_barriers.get(name)
+    if c1 is None:
+        # The disappearance is already reported by the cpu_time sweep.
+        continue
+    for key in COUNTER_KEYS:
+        v0, v1 = c0.get(key), c1.get(key)
+        if v0 is None:
+            failures.append(
+                f"micro: {name}: baseline lacks counter {key} "
+                f"(regenerate with scripts/bench_baseline.sh)")
+        elif v1 is None:
+            failures.append(f"micro: {name}: counter {key} missing")
+        elif v1 > v0:
+            failures.append(
+                f"micro: {name}: {key} regressed {v0:g} -> {v1:g} "
+                f"(barrier counts gate exactly)")
 
 # --- fig1: deterministic sim throughput per (figure, series, threads) --
 FIG_THRESHOLD = 0.30  # fresh throughput may be at most 30% below baseline

@@ -10,6 +10,8 @@ namespace semstm::sched {
 namespace {
 
 std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  // Read-only env access before any worker thread exists.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
   char* end = nullptr;

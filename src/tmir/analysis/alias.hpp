@@ -1,0 +1,342 @@
+// Flow-sensitive address-provenance (alias) analysis over tmir temps.
+//
+// Every temp's value is abstracted as ⟨root, constant byte offset⟩ where
+// the root is one of
+//   kConst   — the value is a compile-time constant (offset *is* the value),
+//   kArg     — args[id] + offset,
+//   kOpaque  — the (unknown) runtime value of temp `id` itself + offset.
+// Roots are symbolic: two opaque roots with the same temp id denote the
+// same runtime word, two distinct roots may or may not coincide. The
+// derivation chases SSA def chains (kAdd/kSub fold a constant side into the
+// offset, kMul/kAnd fold only fully-constant operands) and resolves
+// kLoadLocal flow-sensitively through a reaching-stores problem over local
+// slots, solved on the dataflow.hpp worklist framework. A load whose slot
+// is reached by exactly one store — and not by the implicit zero
+// initialisation — takes the stored temp's abstract value; a slot reached
+// only by the zero init is the constant 0; anything merged is opaque.
+//
+// The oracle: must_alias ⇔ same root and same offset (TM barriers address
+// whole words, so alias is address equality); no_alias ⇔ same root and
+// different offsets, or two distinct constants; everything else — in
+// particular two *different* args, which a caller may bind to equal
+// pointers — is may_alias.
+//
+// Soundness of the kLoadLocal resolution in cyclic CFGs: resolving the
+// load to the stored temp u is only valid if u's register still holds the
+// value the store wrote. Suppose it does not: then some path re-executed
+// u's definition after the last store S and reached the load without
+// re-executing S. Because u's definition dominates S, that path can be
+// rerouted from the entry to the load avoiding S entirely; any store on
+// the rerouted path would itself reach the load (contradicting the sole
+// reaching store), and a store-free rerouting makes the zero init reach
+// (contradicting pseudo-not-reaching). So "exactly one reaching store and
+// no reaching zero-init" already excludes the stale-register hazard — no
+// extra dominance check is needed. (Full argument: DESIGN.md §4.17.)
+//
+// Verdict scope: must/no verdicts compare the two address temps' values as
+// of a single dynamic execution of one block — valid because straight-line
+// execution between two points of the same block cannot re-execute any
+// single-assignment def. Every in-tree consumer (tm_mark's clobber scan,
+// pass_tm_rbe, the lint re-proofs) queries same-block position pairs only.
+//
+// Two views: the default sees live instructions only (what transforming
+// passes run on); `include_dead = true` freezes the original program —
+// dead husks' def chains and local stores still count — so pass_tm_lint
+// can re-prove mark/rbe decisions *after* tm_optimize has killed the
+// instructions they reasoned about.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tmir/analysis/cfg.hpp"
+#include "tmir/analysis/dataflow.hpp"
+#include "tmir/ir.hpp"
+
+namespace semstm::tmir {
+
+enum class AliasResult : std::uint8_t { kNoAlias, kMayAlias, kMustAlias };
+
+class AliasAnalysis {
+ public:
+  struct Value {
+    enum class Root : std::uint8_t { kConst, kArg, kOpaque };
+    Root root = Root::kOpaque;
+    std::int32_t id = -1;  ///< arg index (kArg) / root temp id (kOpaque)
+    word_t offset = 0;     ///< byte offset; the constant itself for kConst
+  };
+
+  AliasAnalysis(const Function& f, const Cfg& cfg, bool include_dead = false)
+      : f_(f), include_dead_(include_dead) {
+    const std::size_t nt = f.num_temps;
+    defs_.assign(nt, Def{});
+    for (std::size_t b = 0; b < f.blocks.size(); ++b) {
+      const auto& code = f.blocks[b].code;
+      for (std::size_t n = 0; n < code.size(); ++n) {
+        const Instr& i = code[n];
+        if (!visible(i)) continue;
+        if (i.op == Op::kStoreLocal) {
+          const auto slot = static_cast<std::size_t>(i.imm);
+          if (slot < f.num_locals) {
+            sites_.push_back({static_cast<std::int32_t>(b),
+                              static_cast<std::int32_t>(n),
+                              static_cast<std::int32_t>(slot), i.a});
+          }
+        }
+        if (!produces_value(i.op) || i.dst < 0 ||
+            static_cast<std::size_t>(i.dst) >= nt) {
+          continue;
+        }
+        Def& d = defs_[static_cast<std::size_t>(i.dst)];
+        if (d.count++ == 0) {
+          d.block = static_cast<std::int32_t>(b);
+          d.instr = static_cast<std::int32_t>(n);
+        }
+      }
+    }
+    solve_local_stores(cfg);
+    state_.assign(nt, kNew);
+    cyclic_.assign(nt, 0);
+    values_.resize(nt);
+    for (std::size_t t = 0; t < nt; ++t) {
+      values_[t] = opaque(static_cast<std::int32_t>(t));
+    }
+    for (std::size_t t = 0; t < nt; ++t) compute(static_cast<std::int32_t>(t));
+  }
+
+  /// Abstract value of a temp (opaque-self for out-of-range ids).
+  Value value_of(std::int32_t t) const {
+    if (t < 0 || static_cast<std::size_t>(t) >= values_.size()) {
+      return opaque(t);
+    }
+    return values_[static_cast<std::size_t>(t)];
+  }
+
+  /// Do the addresses held in temps `a` and `b` refer to the same word?
+  AliasResult alias(std::int32_t a, std::int32_t b) const {
+    const Value x = value_of(a);
+    const Value y = value_of(b);
+    if (x.root == y.root &&
+        (x.root == Value::Root::kConst || x.id == y.id)) {
+      return x.offset == y.offset ? AliasResult::kMustAlias
+                                  : AliasResult::kNoAlias;
+    }
+    return AliasResult::kMayAlias;
+  }
+
+  bool must_alias(std::int32_t a, std::int32_t b) const {
+    return alias(a, b) == AliasResult::kMustAlias;
+  }
+  bool no_alias(std::int32_t a, std::int32_t b) const {
+    return alias(a, b) == AliasResult::kNoAlias;
+  }
+
+  /// Any *live* TM write in (from, to) — exclusive on both ends — that may
+  /// or must alias the address in temp `addr`? `saw_tm_write`, when
+  /// non-null, reports whether any live TM write was crossed at all (the
+  /// signal behind MarkStats::recovered_noalias). The scan is always over
+  /// live instructions: dead husks do not execute, so they cannot clobber.
+  bool clobbers_between(const Instr* from, const Instr* to, std::int32_t addr,
+                        bool* saw_tm_write = nullptr) const {
+    for (const Instr* i = from + 1; i < to; ++i) {
+      if (i->dead) continue;
+      if (i->op != Op::kTmStore && i->op != Op::kTmInc) continue;
+      if (saw_tm_write != nullptr) *saw_tm_write = true;
+      if (alias(i->a, addr) != AliasResult::kNoAlias) return true;
+    }
+    return false;
+  }
+
+ private:
+  struct Def {
+    std::int32_t block = -1;
+    std::int32_t instr = -1;
+    std::uint32_t count = 0;  ///< >1 on malformed IR: treated as opaque
+  };
+  struct StoreSite {
+    std::int32_t block;
+    std::int32_t instr;
+    std::int32_t slot;
+    std::int32_t value_temp;
+  };
+  enum State : std::uint8_t { kNew, kBusy, kDone };
+
+  static Value opaque(std::int32_t t) {
+    return Value{Value::Root::kOpaque, t, 0};
+  }
+
+  bool visible(const Instr& i) const { return include_dead_ || !i.dead; }
+
+  std::size_t pseudo_bit(std::size_t slot) const {
+    return sites_.size() + slot;
+  }
+
+  /// Forward reaching problem: which local stores (plus one pseudo
+  /// "zero-init at entry" fact per slot) reach each block boundary.
+  void solve_local_stores(const Cfg& cfg) {
+    const std::size_t nb = f_.blocks.size();
+    const std::size_t nbits = sites_.size() + f_.num_locals;
+    if (nbits == 0 || nb == 0) return;
+    std::vector<BitSet> gen(nb, BitSet(nbits));
+    std::vector<BitSet> kill(nb, BitSet(nbits));
+    // stored[b * num_locals + s]: block b visibly stores slot s.
+    std::vector<std::uint8_t> stored(nb * f_.num_locals, 0);
+    for (const StoreSite& s : sites_) {
+      stored[static_cast<std::size_t>(s.block) * f_.num_locals +
+             static_cast<std::size_t>(s.slot)] = 1;
+    }
+    for (std::size_t i = 0; i < sites_.size(); ++i) {
+      const StoreSite& s = sites_[i];
+      // Downward-exposed: no later visible store to the same slot in-block.
+      const auto& code = f_.blocks[static_cast<std::size_t>(s.block)].code;
+      bool exposed = true;
+      for (std::size_t n = static_cast<std::size_t>(s.instr) + 1;
+           n < code.size(); ++n) {
+        const Instr& p = code[n];
+        if (visible(p) && p.op == Op::kStoreLocal &&
+            p.imm == static_cast<word_t>(s.slot)) {
+          exposed = false;
+          break;
+        }
+      }
+      if (exposed) gen[static_cast<std::size_t>(s.block)].set(i);
+    }
+    for (std::size_t b = 0; b < nb; ++b) {
+      for (std::size_t s = 0; s < f_.num_locals; ++s) {
+        if (!stored[b * f_.num_locals + s]) continue;
+        for (std::size_t i = 0; i < sites_.size(); ++i) {
+          if (static_cast<std::size_t>(sites_[i].slot) == s) kill[b].set(i);
+        }
+        kill[b].set(pseudo_bit(s));
+      }
+    }
+    // The zero init is generated at the entry unless the entry block
+    // itself overwrites the slot.
+    for (std::size_t s = 0; s < f_.num_locals; ++s) {
+      if (!stored[s]) gen[0].set(pseudo_bit(s));
+    }
+    flow_ = solve(cfg, Direction::kForward, gen, kill, nbits);
+  }
+
+  Value val(std::int32_t u) {
+    if (u < 0 || static_cast<std::size_t>(u) >= values_.size()) {
+      return opaque(u);
+    }
+    compute(u);
+    return values_[static_cast<std::size_t>(u)];
+  }
+
+  void compute(std::int32_t t) {
+    const auto idx = static_cast<std::size_t>(t);
+    if (state_[idx] == kDone) return;
+    if (state_[idx] == kBusy) {
+      // Def chain loops through a local slot: the value is loop-carried.
+      // values_[t] already holds the provisional opaque-self, which the
+      // outer frame keeps (cyclic_), so every observer agrees.
+      cyclic_[idx] = 1;
+      return;
+    }
+    state_[idx] = kBusy;
+    const Value v = derive(t);
+    if (!cyclic_[idx]) values_[idx] = v;
+    state_[idx] = kDone;
+  }
+
+  Value derive(std::int32_t t) {
+    const Def& d = defs_[static_cast<std::size_t>(t)];
+    if (d.block < 0 || d.count != 1) return opaque(t);
+    const Instr& i =
+        f_.blocks[static_cast<std::size_t>(d.block)]
+            .code[static_cast<std::size_t>(d.instr)];
+    switch (i.op) {
+      case Op::kConst:
+        return Value{Value::Root::kConst, -1, i.imm};
+      case Op::kArg:
+        return Value{Value::Root::kArg, static_cast<std::int32_t>(i.imm), 0};
+      case Op::kAdd: {
+        const Value a = val(i.a);
+        const Value b = val(i.b);
+        if (b.root == Value::Root::kConst) {
+          return Value{a.root, a.id, a.offset + b.offset};
+        }
+        if (a.root == Value::Root::kConst) {
+          return Value{b.root, b.id, b.offset + a.offset};
+        }
+        return opaque(t);
+      }
+      case Op::kSub: {
+        const Value a = val(i.a);
+        const Value b = val(i.b);
+        if (b.root == Value::Root::kConst) {
+          return Value{a.root, a.id, a.offset - b.offset};
+        }
+        return opaque(t);
+      }
+      case Op::kMul: {
+        const Value a = val(i.a);
+        const Value b = val(i.b);
+        if (a.root == Value::Root::kConst && b.root == Value::Root::kConst) {
+          return Value{Value::Root::kConst, -1, a.offset * b.offset};
+        }
+        return opaque(t);
+      }
+      case Op::kAnd: {
+        const Value a = val(i.a);
+        const Value b = val(i.b);
+        if (a.root == Value::Root::kConst && b.root == Value::Root::kConst) {
+          return Value{Value::Root::kConst, -1, a.offset & b.offset};
+        }
+        return opaque(t);
+      }
+      case Op::kLoadLocal:
+        return resolve_local_load(t, d.block, d.instr, i.imm);
+      default:
+        // kTmLoad / kTmCmp* / kCmp: runtime values with no address algebra.
+        return opaque(t);
+    }
+  }
+
+  Value resolve_local_load(std::int32_t t, std::int32_t block,
+                           std::int32_t instr, word_t slot_imm) {
+    const auto slot = static_cast<std::size_t>(slot_imm);
+    if (slot >= f_.num_locals) return opaque(t);
+    const auto& code = f_.blocks[static_cast<std::size_t>(block)].code;
+    // Closest preceding visible in-block store wins outright.
+    for (std::int32_t k = instr - 1; k >= 0; --k) {
+      const Instr& p = code[static_cast<std::size_t>(k)];
+      if (!visible(p)) continue;
+      if (p.op == Op::kStoreLocal &&
+          static_cast<std::size_t>(p.imm) == slot) {
+        return val(p.a);
+      }
+    }
+    if (flow_.in.empty()) return opaque(t);
+    const BitSet& in = flow_.in[static_cast<std::size_t>(block)];
+    const bool pseudo = block == 0 || in.test(pseudo_bit(slot));
+    std::int32_t sole = -1;
+    std::size_t reaching = 0;
+    for (std::size_t i = 0; i < sites_.size(); ++i) {
+      if (static_cast<std::size_t>(sites_[i].slot) != slot) continue;
+      if (in.test(i)) {
+        sole = static_cast<std::int32_t>(i);
+        ++reaching;
+      }
+    }
+    if (reaching == 0 && pseudo) return Value{Value::Root::kConst, -1, 0};
+    if (reaching == 1 && !pseudo) {
+      return val(sites_[static_cast<std::size_t>(sole)].value_temp);
+    }
+    return opaque(t);
+  }
+
+  const Function& f_;
+  const bool include_dead_;
+  std::vector<Def> defs_;
+  std::vector<StoreSite> sites_;
+  DataflowResult flow_;
+  std::vector<Value> values_;
+  std::vector<std::uint8_t> state_;
+  std::vector<std::uint8_t> cyclic_;
+};
+
+}  // namespace semstm::tmir

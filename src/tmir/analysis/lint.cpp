@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "tmir/analysis/alias.hpp"
 #include "tmir/analysis/cfg.hpp"
 #include "tmir/analysis/reaching.hpp"
 
@@ -48,14 +49,24 @@ class Linter {
  public:
   explicit Linter(const Function& f, LintStats* stats)
       : f_(f), stats_(stats), cfg_(f), reach_(f, cfg_),
-        defs_(def_positions(f)) {}
+        // include_dead: the lint re-proves decisions the passes took on the
+        // pre-optimize program, so dead husks' def chains must still
+        // evaluate (their positions are frozen).
+        aa_(f, cfg_, /*include_dead=*/true), defs_(def_positions(f)) {}
 
   std::vector<Diagnostic> run() {
     for (std::uint32_t b = 0; b < f_.blocks.size(); ++b) {
       const Block& blk = f_.blocks[b];
       for (std::uint32_t n = 0; n < blk.code.size(); ++n) {
         const Instr& i = blk.code[n];
-        if (i.dead) continue;
+        if (i.dead) {
+          check_elimination(b, n, i);
+          continue;
+        }
+        if (i.elim != Elim::kNone) {
+          report(b, n, "lint-rbe-shape",
+                 "live instruction carries an elimination tag");
+        }
         switch (i.op) {
           case Op::kTmCmp1:
             if (stats_ != nullptr) ++stats_->checked_s1r;
@@ -129,7 +140,9 @@ class Linter {
                  " is not defined by a TM load");
       return false;
     }
-    if (d->ins->a != addr) {
+    // Same temp, or independently proven to hold the same address (the
+    // mark pass accepts must-alias inc origins after RBE load merging).
+    if (d->ins->a != addr && !aa_.must_alias(d->ins->a, addr)) {
       report(b, n, "lint-origin-address",
              std::string(which) + " loads address t" +
                  std::to_string(d->ins->a) + " but the builtin claims t" +
@@ -159,15 +172,18 @@ class Linter {
         return false;
       }
     }
-    // No alias analysis: every TM write between the load and the builtin
-    // may target the same address, which would make re-reading at the
-    // builtin observe a different value than the original compare did.
+    // A TM write between the load and the builtin that may alias its
+    // address would make re-reading at the builtin observe a different
+    // value than the original compare did. The lint runs its own
+    // AliasAnalysis: provably disjoint writes are crossed, everything
+    // else is a clobber.
     const Block& blk = f_.blocks[b];
     for (std::uint32_t k = static_cast<std::uint32_t>(d->instr) + 1; k < n;
          ++k) {
       const Instr& between = blk.code[k];
       if (between.dead) continue;
-      if (between.op == Op::kTmStore || between.op == Op::kTmInc) {
+      if ((between.op == Op::kTmStore || between.op == Op::kTmInc) &&
+          aa_.alias(between.a, addr) != AliasResult::kNoAlias) {
         report(b, n, "lint-clobbered-origin",
                "TM write at " + std::to_string(b) + ":" + std::to_string(k) +
                    " between the " + which + " load and the builtin may "
@@ -223,10 +239,186 @@ class Linter {
     check_value_operand(b, n, i.b);
   }
 
+  // -- pass_tm_rbe elimination re-proofs ----------------------------------
+  // Every dead instruction claiming an RBE elimination is re-proved from
+  // its provenance against the *final* program: dead instructions do not
+  // execute, so only live intervening accesses can invalidate a claim,
+  // while a witness store may itself be a kRbeDeadStore husk — its own
+  // row re-proves the rest of the overwrite chain (transitively the
+  // address is unread until a live store lands).
+
+  void check_elimination(std::uint32_t b, std::uint32_t n, const Instr& i) {
+    switch (i.elim) {
+      case Elim::kNone:       // hand-killed test IR: not an RBE claim
+      case Elim::kDeadCode:   // liveness kill: value never observed
+        return;
+      case Elim::kRbeLoadLoad:
+        if (stats_ != nullptr) ++stats_->checked_rbe_forwards;
+        check_load_forward(b, n, i, /*from_store=*/false);
+        return;
+      case Elim::kRbeStoreLoad:
+        if (stats_ != nullptr) ++stats_->checked_rbe_forwards;
+        check_load_forward(b, n, i, /*from_store=*/true);
+        return;
+      case Elim::kRbeDeadStore:
+        if (stats_ != nullptr) ++stats_->checked_rbe_dead_stores;
+        check_dead_store(b, n, i);
+        return;
+    }
+  }
+
+  /// Shared tail of both forwarding proofs: no live TM write in (from, n)
+  /// that may alias the forwarded load's address.
+  bool forward_window_clean(std::uint32_t b, std::uint32_t from,
+                            std::uint32_t n, std::int32_t addr) {
+    const Block& blk = f_.blocks[b];
+    for (std::uint32_t k = from + 1; k < n; ++k) {
+      const Instr& w = blk.code[k];
+      if (w.dead) continue;
+      if ((w.op == Op::kTmStore || w.op == Op::kTmInc) &&
+          aa_.alias(w.a, addr) != AliasResult::kNoAlias) {
+        report(b, n, "lint-rbe-forward",
+               "TM write at " + std::to_string(b) + ":" + std::to_string(k) +
+                   " between the forwarding source and the eliminated load "
+                   "may alias its address");
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void check_load_forward(std::uint32_t b, std::uint32_t n, const Instr& i,
+                          bool from_store) {
+    if (i.op != Op::kTmLoad) {
+      report(b, n, "lint-rbe-shape",
+             "forwarding elimination tag on a non-load instruction");
+      return;
+    }
+    if (!from_store) {
+      // src_a is the earlier load's result temp.
+      const DefAt* d = def_of(i.src_a);
+      if (i.src_a < 0 || d == nullptr) {
+        report(b, n, "lint-no-provenance",
+               "forwarded load records no replacement definition");
+        return;
+      }
+      if (d->ins->op != Op::kTmLoad) {
+        report(b, n, "lint-rbe-forward",
+               "replacement t" + std::to_string(i.src_a) +
+                   " is not defined by a TM load");
+        return;
+      }
+      if (d->block != static_cast<std::int32_t>(b) ||
+          static_cast<std::uint32_t>(d->instr) >= n) {
+        report(b, n, "lint-rbe-forward",
+               "source load does not locally precede the eliminated load");
+        return;
+      }
+      if (d->ins->a != i.a && !aa_.must_alias(d->ins->a, i.a)) {
+        report(b, n, "lint-rbe-forward",
+               "source load address t" + std::to_string(d->ins->a) +
+                   " is not proven equal to t" + std::to_string(i.a));
+        return;
+      }
+      forward_window_clean(b, static_cast<std::uint32_t>(d->instr), n, i.a);
+      return;
+    }
+    // Store-to-load: src_b is the witness store's address temp, src_a its
+    // value temp. Find the latest preceding store with those operands.
+    if (i.src_a < 0 || i.src_b < 0) {
+      report(b, n, "lint-no-provenance",
+             "store-forwarded load records no witness store operands");
+      return;
+    }
+    if (i.src_b != i.a && !aa_.must_alias(i.src_b, i.a)) {
+      report(b, n, "lint-rbe-forward",
+             "witness store address t" + std::to_string(i.src_b) +
+                 " is not proven equal to t" + std::to_string(i.a));
+      return;
+    }
+    const Block& blk = f_.blocks[b];
+    std::int32_t witness = -1;
+    for (std::uint32_t k = n; k-- > 0;) {
+      const Instr& p = blk.code[k];
+      if (p.op != Op::kTmStore || p.a != i.src_b || p.b != i.src_a) continue;
+      if (p.dead && p.elim != Elim::kRbeDeadStore) continue;
+      witness = static_cast<std::int32_t>(k);
+      break;
+    }
+    if (witness < 0) {
+      report(b, n, "lint-rbe-forward",
+             "no preceding store matches the recorded witness operands");
+      return;
+    }
+    forward_window_clean(b, static_cast<std::uint32_t>(witness), n, i.a);
+  }
+
+  void check_dead_store(std::uint32_t b, std::uint32_t n, const Instr& i) {
+    if (i.op != Op::kTmStore) {
+      report(b, n, "lint-rbe-shape",
+             "dead-store elimination tag on a non-store instruction");
+      return;
+    }
+    if (i.src_a < 0 || i.src_b < 0) {
+      report(b, n, "lint-no-provenance",
+             "eliminated store records no overwriting store operands");
+      return;
+    }
+    if (i.src_b != i.a && !aa_.must_alias(i.src_b, i.a)) {
+      report(b, n, "lint-rbe-dead-store",
+             "overwriting store address t" + std::to_string(i.src_b) +
+                 " is not proven equal to t" + std::to_string(i.a));
+      return;
+    }
+    // The earliest later store matching the recorded operands is the
+    // overwrite witness with the tightest (most permissive) read window.
+    const Block& blk = f_.blocks[b];
+    std::int32_t witness = -1;
+    for (std::uint32_t m = n + 1; m < blk.code.size(); ++m) {
+      const Instr& q = blk.code[m];
+      if (q.op != Op::kTmStore || q.a != i.src_b || q.b != i.src_a) continue;
+      if (q.dead && q.elim != Elim::kRbeDeadStore) continue;
+      witness = static_cast<std::int32_t>(m);
+      break;
+    }
+    if (witness < 0) {
+      report(b, n, "lint-rbe-dead-store",
+             "no later store matches the recorded overwrite witness");
+      return;
+    }
+    for (std::uint32_t m = n + 1; m < static_cast<std::uint32_t>(witness);
+         ++m) {
+      const Instr& q = blk.code[m];
+      if (q.dead) continue;
+      bool reads = false;
+      switch (q.op) {
+        case Op::kTmLoad:
+        case Op::kTmCmp1:
+        case Op::kTmInc:
+          reads = aa_.alias(q.a, i.a) != AliasResult::kNoAlias;
+          break;
+        case Op::kTmCmp2:
+          reads = aa_.alias(q.a, i.a) != AliasResult::kNoAlias ||
+                  aa_.alias(q.b, i.a) != AliasResult::kNoAlias;
+          break;
+        default:
+          break;
+      }
+      if (reads) {
+        report(b, n, "lint-rbe-dead-store",
+               "TM read at " + std::to_string(b) + ":" + std::to_string(m) +
+                   " between the eliminated store and its overwrite may "
+                   "observe the dropped value");
+        return;
+      }
+    }
+  }
+
   const Function& f_;
   LintStats* stats_;
   Cfg cfg_;
   ReachingDefs reach_;
+  AliasAnalysis aa_;
   std::vector<DefAt> defs_;
   std::vector<Diagnostic> diags_;
 };

@@ -21,13 +21,35 @@
 //            the negate flag (imm) must match the kSub orientation; same
 //            block, no intervening TM write between load and store.
 //
+// The lint runs its own include-dead AliasAnalysis (analysis/alias.hpp):
+// intervening TM writes proven no-alias are crossed, anything else is a
+// clobber, and the inc origin's address may be proven must-alias rather
+// than the same temp — mirroring (but independently re-deriving) what
+// pass_tm_mark accepted.
+//
+// pass_tm_rbe eliminations are re-proved too, from each dead husk's
+// Elim tag + src links against the final program:
+//
+//   kRbeLoadLoad   src_a is an earlier same-block kTmLoad whose address is
+//                  proven equal, with no possibly-aliasing live TM write
+//                  in between.
+//   kRbeStoreLoad  src_b/src_a match a preceding store's address/value
+//                  operands (the witness may itself be a kRbeDeadStore
+//                  husk — its own row proves the rest of the chain), the
+//                  address proven equal, window clean as above.
+//   kRbeDeadStore  a later same-block store with the recorded operands
+//                  overwrites a proven-equal address, and no live TM read
+//                  that may alias sits in between.
+//
 // Rule ids: lint-unmarked, lint-no-provenance, lint-origin-not-load,
 // lint-origin-address, lint-origin-unreachable, lint-origin-not-local,
-// lint-clobbered-origin, lint-impure-operand, lint-inc-shape.
+// lint-clobbered-origin, lint-impure-operand, lint-inc-shape,
+// lint-rbe-shape, lint-rbe-forward, lint-rbe-dead-store.
 //
 // Run it after tm_mark (before or after tm_optimize — killed origin loads
 // are still consulted through their dead husks). Empty result == every
-// semantic builtin in the function is a proven-legal rewrite.
+// semantic builtin in the function is a proven-legal rewrite and every
+// claimed elimination a proven-legal removal.
 #pragma once
 
 #include <vector>
@@ -41,6 +63,8 @@ struct LintStats {
   std::size_t checked_s1r = 0;
   std::size_t checked_s2r = 0;
   std::size_t checked_sw = 0;
+  std::size_t checked_rbe_forwards = 0;     ///< kRbeLoadLoad + kRbeStoreLoad
+  std::size_t checked_rbe_dead_stores = 0;  ///< kRbeDeadStore husks
 };
 
 std::vector<Diagnostic> pass_tm_lint(const Function& f,

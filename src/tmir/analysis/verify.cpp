@@ -144,6 +144,43 @@ class Verifier {
     }
   }
 
+  // A provenance link (src_a/src_b), when recorded, must name a temp that
+  // is in range, defined somewhere, and defined at a position the linking
+  // instruction could legally have observed: strictly earlier in the same
+  // block or in a dominating block. Exception: a kRbeDeadStore husk links
+  // the *overwriting* store's operands, which sit later in the same block
+  // by construction — for those the same-block position requirement is
+  // waived (pass_tm_lint re-proves the precise forward-witness shape).
+  void check_provenance(std::uint32_t b, std::uint32_t n, const Instr& i,
+                        std::int32_t t, const char* which) {
+    if (t < 0) return;  // no link recorded
+    if (!temp_in_range(t)) {
+      report(b, n, "provenance-out-of-range",
+             std::string(which) + " t" + std::to_string(t) +
+                 " >= num_temps " + std::to_string(f_.num_temps));
+      return;
+    }
+    const DefPos& d = defs_[static_cast<std::size_t>(t)];
+    if (d.block < 0) {
+      report(b, n, "provenance-undefined",
+             std::string(which) + " t" + std::to_string(t) +
+                 " is never defined");
+      return;
+    }
+    if (!cfg_.reachable(b)) return;  // dominance undefined off-CFG
+    const auto db = static_cast<std::uint32_t>(d.block);
+    const bool forward_witness = i.dead && i.elim == Elim::kRbeDeadStore;
+    const bool ok =
+        db == b ? (forward_witness || static_cast<std::uint32_t>(d.instr) < n)
+                : cfg_.dominates(db, b);
+    if (!ok) {
+      report(b, n, "provenance-not-dominating",
+             std::string(which) + " t" + std::to_string(t) +
+                 " defined at " + std::to_string(d.block) + ":" +
+                 std::to_string(d.instr) + " does not dominate the link");
+    }
+  }
+
   void check_instr(std::uint32_t b, std::uint32_t n, const Instr& i) {
     // Arity: dst presence must match produces_value.
     if (produces_value(i.op) && i.dst < 0) {
@@ -206,6 +243,13 @@ class Verifier {
              "local slot " + std::to_string(i.imm) + " >= num_locals " +
                  std::to_string(f_.num_locals));
     }
+
+    // Provenance links: not operands, but downstream lint trusts them to
+    // name real, earlier, dominating definitions — so a malformed link is
+    // a structural error even on dead instructions (husks keep their
+    // links precisely so they can be re-proved later).
+    check_provenance(b, n, i, i.src_a, "src_a");
+    check_provenance(b, n, i, i.src_b, "src_b");
 
     // Staging: semantic builtins exist only downstream of pass_tm_mark.
     if ((i.op == Op::kTmCmp1 || i.op == Op::kTmCmp2 || i.op == Op::kTmInc) &&

@@ -19,6 +19,11 @@
 //   arg-out-of-range      kArg index >= num_args
 //   local-out-of-range    kLoadLocal/kStoreLocal slot >= num_locals
 //   semantic-before-mark  kTmCmp1/kTmCmp2/kTmInc in an unmarked function
+//   provenance-out-of-range  src_a/src_b names a temp outside [0, num_temps)
+//   provenance-undefined     src_a/src_b names a temp with no definition
+//   provenance-not-dominating  linked def is not earlier-in-block /
+//                            dominating (kRbeDeadStore husks may link
+//                            later same-block defs: the forward witness)
 #pragma once
 
 #include <cstdint>

@@ -43,8 +43,28 @@ namespace semstm::tmir {
   std::abort();
 }
 
+/// Executed-TM-barrier counters, accumulated across every execute() call
+/// that shares the struct (aborted attempts included — an aborted
+/// transaction still paid for its barriers). The quantitative side of the
+/// paper's instrumentation-shrinking story: micro_ops exports these per
+/// kernel so barrier-count regressions gate CI, not just nanoseconds.
+struct BarrierCounts {
+  std::uint64_t tm_loads = 0;      ///< kTmLoad barriers executed
+  std::uint64_t tm_stores = 0;     ///< kTmStore barriers executed
+  std::uint64_t tm_cmps = 0;       ///< kTmCmp1 + kTmCmp2 semantic reads
+  std::uint64_t tm_incs = 0;       ///< kTmInc semantic writes
+  std::uint64_t local_loads = 0;   ///< instrumented kLoadLocal (GCC mode)
+  std::uint64_t local_stores = 0;  ///< instrumented kStoreLocal (GCC mode)
+  std::uint64_t total() const noexcept {
+    return tm_loads + tm_stores + tm_cmps + tm_incs + local_loads +
+           local_stores;
+  }
+};
+
 struct InterpOptions {
   bool instrument_locals = false;
+  /// When set, every executed TM barrier is tallied here.
+  BarrierCounts* barriers = nullptr;
   /// Shadow storage for instrumented locals, provided by the caller and at
   /// least `Function::num_locals` words long. REQUIRED when
   /// instrument_locals is set: the transaction's write-set keeps pointers
@@ -121,12 +141,16 @@ word_t execute(TxT& tx, const Function& f, const word_t* args,
           t(i.dst) = args[i.imm];
           break;
         case Op::kLoadLocal:
-          t(i.dst) = opts.instrument_locals
-                         ? abi::itm_read(tx, &local_shadow[slot(i.imm)])
-                         : locals[slot(i.imm)];
+          if (opts.instrument_locals) {
+            if (opts.barriers != nullptr) ++opts.barriers->local_loads;
+            t(i.dst) = abi::itm_read(tx, &local_shadow[slot(i.imm)]);
+          } else {
+            t(i.dst) = locals[slot(i.imm)];
+          }
           break;
         case Op::kStoreLocal:
           if (opts.instrument_locals) {
+            if (opts.barriers != nullptr) ++opts.barriers->local_stores;
             abi::itm_write(tx, &local_shadow[slot(i.imm)], t(i.a));
           } else {
             locals[slot(i.imm)] = t(i.a);
@@ -148,18 +172,22 @@ word_t execute(TxT& tx, const Function& f, const word_t* args,
           t(i.dst) = eval(i.rel, t(i.a), t(i.b)) ? 1 : 0;
           break;
         case Op::kTmLoad:
+          if (opts.barriers != nullptr) ++opts.barriers->tm_loads;
           t(i.dst) = abi::itm_read(tx, reinterpret_cast<const tword*>(t(i.a)));
           break;
         case Op::kTmStore:
+          if (opts.barriers != nullptr) ++opts.barriers->tm_stores;
           abi::itm_write(tx, reinterpret_cast<tword*>(t(i.a)), t(i.b));
           break;
         case Op::kTmCmp1:
+          if (opts.barriers != nullptr) ++opts.barriers->tm_cmps;
           t(i.dst) = abi::itm_s1r(tx, reinterpret_cast<const tword*>(t(i.a)),
                                   i.rel, t(i.b))
                          ? 1
                          : 0;
           break;
         case Op::kTmCmp2:
+          if (opts.barriers != nullptr) ++opts.barriers->tm_cmps;
           t(i.dst) = abi::itm_s2r(tx, reinterpret_cast<const tword*>(t(i.a)),
                                   i.rel,
                                   reinterpret_cast<const tword*>(t(i.b)))
@@ -167,6 +195,7 @@ word_t execute(TxT& tx, const Function& f, const word_t* args,
                          : 0;
           break;
         case Op::kTmInc: {
+          if (opts.barriers != nullptr) ++opts.barriers->tm_incs;
           const word_t delta = i.imm == 1 ? word_t{0} - t(i.b) : t(i.b);
           abi::itm_sw(tx, reinterpret_cast<tword*>(t(i.a)), delta);
           break;

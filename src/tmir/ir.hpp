@@ -71,16 +71,33 @@ constexpr bool is_terminator(Op op) noexcept {
   return op == Op::kBr || op == Op::kCbr || op == Op::kRet;
 }
 
+/// Why a dead instruction was killed. Dead instructions stay in the IR as
+/// husks (positions frozen for provenance), so the kill reason must be
+/// recorded alongside: pass_tm_lint re-proves each redundant-barrier
+/// elimination from its Elim kind + src links, and a dead TM barrier with a
+/// forged or missing justification is a lint error, not a silent trust.
+enum class Elim : std::uint8_t {
+  kNone = 0,       ///< not killed, or killed by hand-written test IR
+  kDeadCode,       ///< tm_optimize: definition never live / block unreachable
+  kRbeLoadLoad,    ///< rbe: load forwarded from an earlier must-alias load
+  kRbeStoreLoad,   ///< rbe: load forwarded from an earlier must-alias store
+  kRbeDeadStore,   ///< rbe: store overwritten before any possible read
+};
+
 /// One three-operand statement. `dst` and the operands `a`/`b` are temp
 /// ids; `imm` carries constants / local slots / branch targets.
 ///
 /// `src_a`/`src_b` are *provenance links*, recorded by pass_tm_mark on the
 /// semantic builtins it emits: the temp ids of the original TM-load result
 /// (src_a; both loads for kTmCmp2 via src_a/src_b) and, for kTmInc, the
-/// arithmetic temp that computed the stored value (src_b). They are not
-/// operands — the interpreter never reads them and tm_optimize is free to
-/// kill the instructions they name — but pass_tm_lint uses them to
-/// independently re-prove that each rewrite was legal.
+/// arithmetic temp that computed the stored value (src_b). pass_tm_rbe
+/// records them too: the replacement temp (src_a) and, where the witness is
+/// a store, its address temp (src_b). They are not operands — the
+/// interpreter never reads them and tm_optimize is free to kill the
+/// instructions they name — but pass_tm_lint uses them to independently
+/// re-prove that each rewrite or elimination was legal, and pass_verify
+/// checks the links themselves are structurally sane (in range, defined,
+/// dominating).
 struct Instr {
   Op op = Op::kConst;
   Rel rel = Rel::EQ;  // kCmp / kTmCmp*
@@ -91,6 +108,7 @@ struct Instr {
   bool dead = false;  ///< marked by passes; skipped by the interpreter
   std::int32_t src_a = -1;  ///< provenance: origin TM-load temp
   std::int32_t src_b = -1;  ///< provenance: second load (S2R) / arith (SW)
+  Elim elim = Elim::kNone;  ///< why `dead` was set (kNone while live)
 };
 
 struct Block {
@@ -139,11 +157,12 @@ struct Function {
   }
 };
 
-/// Visit every temp *operand* of an instruction (block ids, immediates and
-/// provenance links are not uses). Shared by the passes, the analyses and
-/// the verifier so the notion of "use" cannot drift between them.
+/// Visit every temp *operand* of an instruction as a mutable reference
+/// (block ids, immediates and provenance links are not uses). The single
+/// switch behind both `for_each_use` and pass_tm_rbe's operand rewriting,
+/// so the notion of "use" cannot drift between reading and rewriting.
 template <typename Fn>
-void for_each_use(const Instr& i, Fn&& fn) {
+void for_each_use_ref(Instr& i, Fn&& fn) {
   switch (i.op) {
     case Op::kAdd:
     case Op::kSub:
@@ -168,6 +187,15 @@ void for_each_use(const Instr& i, Fn&& fn) {
     default:
       break;  // kConst/kArg/kLoadLocal/kBr: no temp uses
   }
+}
+
+/// Visit every temp *operand* of an instruction by value. Shared by the
+/// passes, the analyses and the verifier.
+template <typename Fn>
+void for_each_use(const Instr& i, Fn&& fn) {
+  // Safe const_cast: the by-value adapter never writes through the refs.
+  for_each_use_ref(const_cast<Instr&>(i),
+                   [&](std::int32_t& t) { fn(static_cast<std::int32_t>(t)); });
 }
 
 /// True for ops whose only effect is defining `dst` — the set tm_optimize

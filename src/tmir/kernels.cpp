@@ -1,5 +1,7 @@
 #include "tmir/kernels.hpp"
 
+#include <vector>
+
 #include "tmir/builder.hpp"
 
 namespace semstm::tmir {
@@ -210,22 +212,34 @@ Function build_reserve_kernel(unsigned candidates) {
 }
 
 Function build_center_update_kernel(unsigned features) {
-  Builder b("center_update", 2 + features, 0);
-  const std::int32_t len_addr = b.arg(0);
-  const std::int32_t center_base = b.arg(1);
+  Builder b("center_update", 1 + features, 0);
+  const std::int32_t base = b.arg(0);
 
-  // new_centers_len[index]++
-  const std::int32_t len = b.tm_load(len_addr);
-  b.tm_store(len_addr, b.add(len, b.konst(1)));
-
-  // new_centers[index][j] += feature[j]
+  // Front ends hoist the loads of a record ahead of the read-modify-write
+  // stores (classic scheduling: issue all the loads, then the arithmetic,
+  // then the stores). That leaves every store crossing the other fields'
+  // loads and stores — disjoint cells of one record, but a pass without
+  // alias analysis must treat each as a potential clobber.
+  const std::int32_t len = b.tm_load(base);
+  std::vector<std::int32_t> addrs;
+  std::vector<std::int32_t> cells;
   for (unsigned j = 0; j < features; ++j) {
     const std::int32_t addr =
-        b.add(center_base, b.konst(static_cast<word_t>(j) * 8));
-    const std::int32_t c = b.tm_load(addr);
-    b.tm_store(addr, b.add(c, b.arg(2 + j)));
+        b.add(base, b.konst(static_cast<word_t>(j + 1) * 8));
+    addrs.push_back(addr);
+    cells.push_back(b.tm_load(addr));
   }
-  b.ret(b.konst(0));
+
+  // record.len++ then record.center[j] += feature[j]
+  b.tm_store(base, b.add(len, b.konst(1)));
+  for (unsigned j = 0; j < features; ++j) {
+    b.tm_store(addrs[j], b.add(cells[j], b.arg(1 + j)));
+  }
+
+  // Re-read the length for the caller — the redundant load a
+  // store-to-load forwarding pass collapses into the stored value.
+  const std::int32_t len2 = b.tm_load(base);
+  b.ret(len2);
   return b.finish();
 }
 

@@ -28,12 +28,15 @@ Function build_remove_kernel();
 /// chosen record's numFree. Returns the chosen id + 1, or 0 if none.
 Function build_reserve_kernel(unsigned candidates);
 
-/// Kmeans centre update (Algorithm 5):
-/// args: [0]=len_addr [1]=center_base [2]=feature_base(non-TM constants
-/// passed as immediate array base is not needed — features come as args)
-/// Simplified: [0]=len_addr, [1]=center_base, [2..2+features)=feature
-/// values. Increments the length counter and adds each feature into the
-/// corresponding centre cell.
+/// Kmeans centre update (Algorithm 5) over a single centre record laid out
+/// as [len, center[0] .. center[features-1]].
+/// args: [0]=record_base, [1..1+features)=feature values.
+/// Loads every field first (front-end load hoisting), then increments the
+/// length and adds each feature into its cell, then re-reads the length
+/// and returns it (the new length). The hoisted shape is the alias-analysis
+/// showcase: every store crosses the other fields' accesses — provably
+/// disjoint cells of one record — and the trailing re-read is a
+/// store-to-load forwarding target.
 Function build_center_update_kernel(unsigned features);
 
 }  // namespace semstm::tmir

@@ -1,7 +1,10 @@
 #include "tmir/passes.hpp"
 
+#include <optional>
+#include <utility>
 #include <vector>
 
+#include "tmir/analysis/alias.hpp"
 #include "tmir/analysis/cfg.hpp"
 #include "tmir/analysis/liveness.hpp"
 #include "tmir/analysis/verify.hpp"
@@ -49,23 +52,59 @@ bool defined_in_block(const Block& b, const Instr* def) noexcept {
   return def >= b.code.data() && def < b.code.data() + b.code.size();
 }
 
-/// Any live TM write strictly between `from` and `to` in block `b`? With
-/// no alias analysis every TM write may hit the origin load's address, so
-/// a rewrite across one would observe a different value than the original
-/// expression did — the legality condition pass_tm_lint re-checks.
-bool tm_write_between(const Instr* from, const Instr* to) {
-  for (const Instr* i = from + 1; i < to; ++i) {
-    if (i->dead) continue;
-    if (i->op == Op::kTmStore || i->op == Op::kTmInc) return true;
+/// Any live TM write strictly between `from` and `to` that could hit the
+/// address in temp `addr`? Without alias analysis every TM write may hit
+/// it; with it, provably no-alias writes are crossed (and reported via
+/// `recovered` so MarkStats::recovered_noalias can count the rewrites the
+/// PR 5 pass refused). The legality condition pass_tm_lint re-checks.
+bool tm_write_between(const AliasAnalysis* aa, const Instr* from,
+                      const Instr* to, std::int32_t addr, bool* recovered) {
+  if (aa == nullptr) {
+    for (const Instr* i = from + 1; i < to; ++i) {
+      if (i->dead) continue;
+      if (i->op == Op::kTmStore || i->op == Op::kTmInc) return true;
+    }
+    return false;
   }
+  bool saw_write = false;
+  if (aa->clobbers_between(from, to, addr, &saw_write)) return true;
+  if (saw_write && recovered != nullptr) *recovered = true;
   return false;
 }
 
 }  // namespace
 
-MarkStats pass_tm_mark(Function& f) {
+MarkStats pass_tm_mark(Function& f, const MarkOptions& opts) {
   MarkStats stats;
   auto defs = def_map(f);
+  std::optional<Cfg> cfg;
+  std::optional<AliasAnalysis> alias;
+  if (opts.use_alias) {
+    cfg.emplace(f);
+    alias.emplace(f, *cfg);
+  }
+  const AliasAnalysis* aa = alias ? &*alias : nullptr;
+
+  // Stores that pass_tm_rbe recorded as witnesses — a kRbeStoreLoad husk's
+  // forwarded value, or the overwriter a kRbeDeadStore husk points at —
+  // must stay plain stores: the lint re-proves those eliminations by
+  // finding a kTmStore with exactly the recorded (address, value) operands,
+  // and an inc rewrite would erase the value temp from the instruction.
+  std::vector<std::pair<std::int32_t, std::int32_t>> witness_stores;
+  for (const Block& b : f.blocks) {
+    for (const Instr& i : b.code) {
+      if (i.dead &&
+          (i.elim == Elim::kRbeStoreLoad || i.elim == Elim::kRbeDeadStore)) {
+        witness_stores.emplace_back(i.src_b, i.src_a);  // (address, value)
+      }
+    }
+  }
+  const auto is_witness_store = [&](const Instr& s) {
+    for (const auto& [addr, value] : witness_stores) {
+      if (s.a == addr && s.b == value) return true;
+    }
+    return false;
+  };
 
   for (Block& b : f.blocks) {
     // Which temps feed a conditional branch in this block?
@@ -88,8 +127,11 @@ MarkStats pass_tm_mark(Function& f) {
                             defined_in_block(b, da);
         const bool b_load = db != nullptr && db->op == Op::kTmLoad &&
                             defined_in_block(b, db);
-        const bool a_clear = a_load && !tm_write_between(da, &i);
-        const bool b_clear = b_load && !tm_write_between(db, &i);
+        bool recovered = false;
+        const bool a_clear =
+            a_load && !tm_write_between(aa, da, &i, da->a, &recovered);
+        const bool b_clear =
+            b_load && !tm_write_between(aa, db, &i, db->a, &recovered);
         if ((a_load && !a_clear) || (b_load && !b_clear)) {
           ++stats.skipped_clobbered;
           continue;
@@ -102,11 +144,13 @@ MarkStats pass_tm_mark(Function& f) {
           i.a = da->a;    // address temps
           i.b = db->a;
           ++stats.s2r;
+          stats.recovered_noalias += recovered ? 1 : 0;
         } else if (a_clear && is_literal_or_local(db)) {
           i.op = Op::kTmCmp1;
           i.src_a = i.a;
           i.a = da->a;
           ++stats.s1r;
+          stats.recovered_noalias += recovered ? 1 : 0;
         } else if (b_clear && is_literal_or_local(da)) {
           // (value REL load) == (load mirror(REL) value).
           const std::int32_t value_temp = i.a;
@@ -116,22 +160,32 @@ MarkStats pass_tm_mark(Function& f) {
           i.a = db->a;       // address temp of the load
           i.b = value_temp;  // literal/local operand
           ++stats.s1r;
+          stats.recovered_noalias += recovered ? 1 : 0;
         }
         continue;
       }
 
       // -- inc pattern: TM_STORE(addr, TM_LOAD(addr) +/- delta) ------------
       if (i.op == Op::kTmStore && i.b >= 0) {
+        if (is_witness_store(i)) continue;  // pinned by an RBE provenance link
         Instr* dv = defs[static_cast<std::size_t>(i.b)];
         if (dv == nullptr || !defined_in_block(b, dv)) continue;
         if (dv->op != Op::kAdd && dv->op != Op::kSub) continue;
         Instr* dx = dv->a >= 0 ? defs[static_cast<std::size_t>(dv->a)] : nullptr;
         Instr* dy = dv->b >= 0 ? defs[static_cast<std::size_t>(dv->b)] : nullptr;
 
+        // The load's address and the store's must refer to the same word:
+        // same temp, or proven must-alias (RBE load merging can leave the
+        // surviving load holding a different but equal-valued address temp).
+        const auto same_addr = [&](const Instr* load) {
+          return load->a == i.a ||
+                 (aa != nullptr && aa->must_alias(load->a, i.a));
+        };
         // load on the left: store(addr, load(addr) +/- delta)
-        if (dx != nullptr && dx->op == Op::kTmLoad && dx->a == i.a &&
+        if (dx != nullptr && dx->op == Op::kTmLoad && same_addr(dx) &&
             defined_in_block(b, dx) && is_literal_or_local(dy)) {
-          if (tm_write_between(dx, &i)) {
+          bool recovered = false;
+          if (tm_write_between(aa, dx, &i, i.a, &recovered)) {
             ++stats.skipped_clobbered;
             continue;
           }
@@ -141,13 +195,15 @@ MarkStats pass_tm_mark(Function& f) {
           i.b = dv->b;                            // delta temp
           i.imm = dv->op == Op::kSub ? 1 : 0;     // 1 = negate delta
           ++stats.sw;
+          stats.recovered_noalias += recovered ? 1 : 0;
           continue;
         }
         // load on the right (add only: c - load is not an increment)
         if (dv->op == Op::kAdd && dy != nullptr && dy->op == Op::kTmLoad &&
-            dy->a == i.a && defined_in_block(b, dy) &&
+            same_addr(dy) && defined_in_block(b, dy) &&
             is_literal_or_local(dx)) {
-          if (tm_write_between(dy, &i)) {
+          bool recovered = false;
+          if (tm_write_between(aa, dy, &i, i.a, &recovered)) {
             ++stats.skipped_clobbered;
             continue;
           }
@@ -157,6 +213,7 @@ MarkStats pass_tm_mark(Function& f) {
           i.b = dv->a;
           i.imm = 0;
           ++stats.sw;
+          stats.recovered_noalias += recovered ? 1 : 0;
           continue;
         }
       }
@@ -167,12 +224,114 @@ MarkStats pass_tm_mark(Function& f) {
   return stats;
 }
 
+RbeStats pass_tm_rbe(Function& f) {
+  RbeStats stats;
+  const Cfg cfg(f);
+  const AliasAnalysis aa(f, cfg);
+
+  // Rewrite every use of `from` — in live and dead instructions alike, so
+  // husks stay verifier-consistent — to `to`. Provenance links are *not*
+  // uses and stay untouched: they name recorded origins.
+  const auto replace_uses = [&](std::int32_t from, std::int32_t to) {
+    for (Block& blk : f.blocks) {
+      for (Instr& i : blk.code) {
+        for_each_use_ref(i, [&](std::int32_t& t) {
+          if (t == from) t = to;
+        });
+      }
+    }
+  };
+
+  for (Block& blk : f.blocks) {
+    auto& code = blk.code;
+    for (std::size_t idx = 0; idx < code.size(); ++idx) {
+      Instr& i = code[idx];
+      if (i.dead) continue;
+
+      // -- forwarding: a load of a must-alias address reuses the earlier
+      //    temp; scanning stops at the first possibly-aliasing write -----
+      if (i.op == Op::kTmLoad) {
+        for (std::size_t k = idx; k-- > 0;) {
+          const Instr& p = code[k];
+          if (p.dead) continue;
+          if (p.op == Op::kTmStore) {
+            const AliasResult r = aa.alias(p.a, i.a);
+            if (r == AliasResult::kMustAlias) {
+              replace_uses(i.dst, p.b);
+              i.dead = true;
+              i.elim = Elim::kRbeStoreLoad;
+              i.src_a = p.b;  // the value the load would have observed
+              i.src_b = p.a;  // the witness store's address temp
+              ++stats.store_load_forwarded;
+              break;
+            }
+            if (r == AliasResult::kMayAlias) break;
+          } else if (p.op == Op::kTmInc) {
+            // An increment both writes the word and holds its result in no
+            // temp: any non-disjoint inc ends the scan.
+            if (aa.alias(p.a, i.a) != AliasResult::kNoAlias) break;
+          } else if (p.op == Op::kTmLoad) {
+            if (aa.must_alias(p.a, i.a)) {
+              replace_uses(i.dst, p.dst);
+              i.dead = true;
+              i.elim = Elim::kRbeLoadLoad;
+              i.src_a = p.dst;
+              ++stats.load_load_forwarded;
+              break;
+            }
+            // Loads never clobber: keep scanning past may-alias loads.
+          }
+        }
+        continue;
+      }
+
+      // -- dead stores: an earlier must-alias store whose value cannot be
+      //    read before this store overwrites it ------------------------
+      if (i.op == Op::kTmStore) {
+        for (std::size_t k = idx; k-- > 0;) {
+          Instr& p = code[k];
+          if (p.dead || p.op != Op::kTmStore) continue;
+          if (!aa.must_alias(p.a, i.a)) continue;
+          bool read_between = false;
+          for (std::size_t m = k + 1; m < idx && !read_between; ++m) {
+            const Instr& q = code[m];
+            if (q.dead) continue;
+            switch (q.op) {
+              case Op::kTmLoad:
+              case Op::kTmCmp1:
+              case Op::kTmInc:
+                read_between = aa.alias(q.a, p.a) != AliasResult::kNoAlias;
+                break;
+              case Op::kTmCmp2:
+                read_between = aa.alias(q.a, p.a) != AliasResult::kNoAlias ||
+                               aa.alias(q.b, p.a) != AliasResult::kNoAlias;
+                break;
+              default:
+                break;
+            }
+          }
+          if (read_between) continue;
+          p.dead = true;
+          p.elim = Elim::kRbeDeadStore;
+          p.src_a = i.b;  // the overwriting store's value temp ...
+          p.src_b = i.a;  // ... and address temp, for the lint re-proof
+          ++stats.dead_stores;
+        }
+        continue;
+      }
+    }
+  }
+  debug_verify(f, "after pass_tm_rbe");
+  return stats;
+}
+
 OptimizeStats pass_tm_optimize(Function& f) {
   OptimizeStats stats;
   const Cfg cfg(f);
 
   auto kill = [&](Instr& i) {
     i.dead = true;
+    i.elim = Elim::kDeadCode;
     if (i.op == Op::kTmLoad) {
       ++stats.removed_tm_loads;
     } else {
@@ -247,6 +406,7 @@ OptimizeStats pass_tm_optimize_zero_uses(Function& f) {
         // programmer asked for); everything else pure goes.
         if (i.op == Op::kTmCmp1 || i.op == Op::kTmCmp2) continue;
         i.dead = true;
+        i.elim = Elim::kDeadCode;
         changed = true;
         if (i.op == Op::kTmLoad) {
           ++stats.removed_tm_loads;

@@ -61,11 +61,16 @@ inline double parse_f64(const char* what, const std::string& tok) {
 /// Environment-variable fallback for run-wide defaults (e.g. SEMSTM_CM).
 /// CLI flags always win: callers use `cli.get(key, env_or(...))`.
 inline std::string env_or(const char* var, const char* dflt) {
+  // Read-only env access during single-threaded startup; no setenv anywhere
+  // in the library, so the getenv data race clang-tidy guards against
+  // cannot occur. NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* v = std::getenv(var);
   return (v != nullptr && *v != '\0') ? std::string(v) : std::string(dflt);
 }
 
 inline std::uint64_t env_u64_or(const char* var, std::uint64_t dflt) {
+  // Same single-threaded-startup contract as env_or above.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* v = std::getenv(var);
   return (v != nullptr && *v != '\0') ? detail::parse_u64(var, v) : dflt;
 }

@@ -90,6 +90,10 @@ TEST(CliDeath, RejectsUnrecognizedArgument) {
               "unrecognized argument");
 }
 
+// The EnvParse tests mutate the environment from the single gtest thread
+// before any transaction/scheduler machinery starts, so the setenv/getenv
+// race concurrency-mt-unsafe flags cannot happen here.
+// NOLINTBEGIN(concurrency-mt-unsafe)
 TEST(EnvParse, UsesDefaultWhenUnsetAndParsesWhenSet) {
   ::unsetenv("SEMSTM_TEST_U64");
   EXPECT_EQ(env_u64_or("SEMSTM_TEST_U64", 17u), 17u);
@@ -112,6 +116,7 @@ TEST(EnvParseDeath, RejectsNegativeEnvValue) {
               ::testing::ExitedWithCode(2), "malformed number");
   ::unsetenv("SEMSTM_TEST_U64");
 }
+// NOLINTEND(concurrency-mt-unsafe)
 
 }  // namespace
 }  // namespace semstm

@@ -41,8 +41,17 @@ namespace {
 
 constexpr std::size_t kCells = 16;
 
-/// Emits random code into the current block. `pool` holds the temps the
-/// block may legally use (everything defined in a dominating position).
+/// Temps a block may legally use: `pool` holds value temps defined in a
+/// dominating position, `addrs` the subset known to be TM cell addresses —
+/// reusing one re-creates the same-base access patterns (reloads, repeated
+/// stores, read-modify-write chains) that alias analysis and the
+/// redundant-barrier eliminator feed on.
+struct Scope {
+  std::vector<std::int32_t> pool;
+  std::vector<std::int32_t> addrs;
+};
+
+/// Emits random code into the current block.
 class RandomCode {
  public:
   RandomCode(Builder& b, Rng& rng, std::int32_t base)
@@ -57,6 +66,15 @@ class RandomCode {
     return b_.add(base_, b_.konst(cell * 8));
   }
 
+  /// A fresh or remembered cell address; remembered ones create the
+  /// same-temp / must-alias pairs the eliminations need.
+  std::int32_t some_addr(Scope& s) {
+    if (!s.addrs.empty() && rng_.below(2) == 0) return pick(s.addrs);
+    const std::int32_t a = addr_of_random_cell();
+    s.addrs.push_back(a);
+    return a;
+  }
+
   /// Mostly-pure operand: what tm_mark accepts as a compare value or an
   /// increment delta. Falls back to an arbitrary pool temp sometimes so
   /// the not-markable path is exercised too.
@@ -64,60 +82,92 @@ class RandomCode {
     return rng_.below(2) == 0 ? b_.konst(rng_.below(64)) : pick(pool);
   }
 
-  void emit_op(std::vector<std::int32_t>& pool) {
-    switch (rng_.below(9)) {
+  void emit_op(Scope& s) {
+    switch (rng_.below(12)) {
       case 0:
-        pool.push_back(b_.konst(rng_.below(1000)));
+        s.pool.push_back(b_.konst(rng_.below(1000)));
         break;
       case 1:
-        pool.push_back(b_.add(pick(pool), pick(pool)));
+        s.pool.push_back(b_.add(pick(s.pool), pick(s.pool)));
         break;
       case 2:
-        pool.push_back(b_.sub(pick(pool), pick(pool)));
+        s.pool.push_back(b_.sub(pick(s.pool), pick(s.pool)));
         break;
       case 3:
-        pool.push_back(b_.band(pick(pool), pick(pool)));
+        s.pool.push_back(b_.band(pick(s.pool), pick(s.pool)));
         break;
       case 4:
-        pool.push_back(b_.tm_load(addr_of_random_cell()));
+        s.pool.push_back(b_.tm_load(some_addr(s)));
         break;
       case 5:
-        b_.tm_store(addr_of_random_cell(), pick(pool));
+        b_.tm_store(some_addr(s), pick(s.pool));
         break;
       case 6:
-        b_.store_local(static_cast<std::uint32_t>(rng_.below(2)), pick(pool));
+        b_.store_local(static_cast<std::uint32_t>(rng_.below(2)),
+                       pick(s.pool));
         break;
       case 7:
-        pool.push_back(b_.load_local(static_cast<std::uint32_t>(rng_.below(2))));
+        s.pool.push_back(
+            b_.load_local(static_cast<std::uint32_t>(rng_.below(2))));
         break;
       case 8: {
         // The paper's increment shape — sometimes left markable, sometimes
         // clobbered or impure so tm_mark's refusal paths run too.
-        const std::int32_t addr = addr_of_random_cell();
+        const std::int32_t addr = some_addr(s);
         const std::int32_t v = b_.tm_load(addr);
-        const std::int32_t delta = pure_or_any(pool);
-        const std::int32_t s =
+        const std::int32_t delta = pure_or_any(s.pool);
+        const std::int32_t x =
             rng_.below(2) == 0 ? b_.add(v, delta) : b_.sub(v, delta);
-        b_.tm_store(addr, s);
-        if (rng_.below(4) == 0) pool.push_back(v);  // keep the read live
+        b_.tm_store(addr, x);
+        if (rng_.below(4) == 0) s.pool.push_back(v);  // keep the read live
+        break;
+      }
+      case 9:
+        // Deliberate same-base reload: a load through an address temp
+        // that earlier code already dereferenced — load-load and
+        // store-to-load forwarding fodder.
+        s.pool.push_back(b_.tm_load(
+            s.addrs.empty() ? addr_of_random_cell() : pick(s.addrs)));
+        break;
+      case 10: {
+        // Offset-disjoint store pair: two cells at distinct constant
+        // offsets from the same base. Proven no-alias when the offsets
+        // differ; an honest clobber when the generator rolls them equal.
+        b_.tm_store(addr_of_random_cell(), pure_or_any(s.pool));
+        b_.tm_store(addr_of_random_cell(), pure_or_any(s.pool));
+        break;
+      }
+      case 11: {
+        // Unknown-base access: the offset is a masked arbitrary temp, so
+        // the address derivation is opaque to the analysis and must
+        // clobber everything (while staying inside the table: `band 120`
+        // keeps the offset an 8-aligned value below kCells * 8).
+        const std::int32_t addr =
+            b_.add(base_, b_.band(pick(s.pool), b_.konst(120)));
+        s.addrs.push_back(addr);
+        if (rng_.below(2) == 0) {
+          s.pool.push_back(b_.tm_load(addr));
+        } else {
+          b_.tm_store(addr, pure_or_any(s.pool));
+        }
         break;
       }
     }
   }
 
-  void emit_block(std::vector<std::int32_t>& pool, unsigned len) {
-    for (unsigned i = 0; i < len; ++i) emit_op(pool);
+  void emit_block(Scope& s, unsigned len) {
+    for (unsigned i = 0; i < len; ++i) emit_op(s);
   }
 
   /// A branch condition in the S1R family (sometimes markable).
-  std::int32_t condition(std::vector<std::int32_t>& pool) {
+  std::int32_t condition(Scope& s) {
     static constexpr Rel kRels[] = {Rel::EQ,  Rel::NEQ, Rel::SLT,
                                     Rel::SGT, Rel::ULT, Rel::UGE};
     const Rel rel = kRels[rng_.below(6)];
     if (rng_.below(2) == 0) {
-      return b_.cmp(rel, b_.tm_load(addr_of_random_cell()), pure_or_any(pool));
+      return b_.cmp(rel, b_.tm_load(some_addr(s)), pure_or_any(s.pool));
     }
-    return b_.cmp(rel, pick(pool), pick(pool));
+    return b_.cmp(rel, pick(s.pool), pick(s.pool));
   }
 
  private:
@@ -133,32 +183,32 @@ Function generate(std::uint64_t seed) {
   const std::int32_t base = b.arg(0);
   RandomCode gen(b, rng, base);
 
-  std::vector<std::int32_t> pool{b.arg(1), b.arg(2), b.arg(3),
-                                 b.konst(rng.below(100))};
-  gen.emit_block(pool, 3 + static_cast<unsigned>(rng.below(8)));
+  Scope scope;
+  scope.pool = {b.arg(1), b.arg(2), b.arg(3), b.konst(rng.below(100))};
+  gen.emit_block(scope, 3 + static_cast<unsigned>(rng.below(8)));
 
   if (rng.below(2) == 0) {
     // Straight line.
-    b.ret(gen.pick(pool));
+    b.ret(gen.pick(scope.pool));
     return b.take();
   }
 
   // Diamond: entry -> {then, else} -> join. Branch blocks may only use
   // entry-defined temps; their own temps must not leak to the join.
-  const std::int32_t cond = gen.condition(pool);
+  const std::int32_t cond = gen.condition(scope);
   const std::uint32_t then_b = b.new_block();
   const std::uint32_t else_b = b.new_block();
   const std::uint32_t join = b.new_block();
   b.cbr(cond, then_b, else_b);
   for (const std::uint32_t blk : {then_b, else_b}) {
     b.set_block(blk);
-    std::vector<std::int32_t> local = pool;
+    Scope local = scope;
     gen.emit_block(local, 1 + static_cast<unsigned>(rng.below(5)));
     b.br(join);
   }
   b.set_block(join);
-  gen.emit_block(pool, static_cast<unsigned>(rng.below(3)));
-  b.ret(gen.pick(pool));
+  gen.emit_block(scope, static_cast<unsigned>(rng.below(3)));
+  b.ret(gen.pick(scope.pool));
   return b.take();
 }
 
@@ -185,50 +235,91 @@ class RandomIr : public ::testing::Test {
 TEST_F(RandomIr, FiveHundredSeedsVerifyLintAndStayEquivalent) {
   std::size_t marked_something = 0;
   std::size_t beat_the_heuristic = 0;
+  std::size_t rbe_total = 0;
+  std::size_t recovered_total = 0;
+  std::size_t skipped_baseline = 0;
+  std::size_t skipped_alias = 0;
   for (std::uint64_t seed = 1; seed <= 500; ++seed) {
     const Function raw = generate(seed);
     ASSERT_TRUE(pass_verify(raw).empty())
         << format_diagnostic(raw, pass_verify(raw)[0]);
 
+    // PR 5 baseline pipeline: alias-free mark, liveness optimize.
+    Function base = raw;
+    const MarkStats ms_base = pass_tm_mark(base, {.use_alias = false});
+    skipped_baseline += ms_base.skipped_clobbered;
+    ASSERT_TRUE(pass_verify(base).empty()) << "seed " << seed << " base mark";
+    ASSERT_TRUE(pass_tm_lint(base).empty()) << "seed " << seed << " base mark";
+
+    Function legacy = base;  // marked copy for the zero-uses optimizer
+    const OptimizeStats os_base = pass_tm_optimize(base);
+    const OptimizeStats oz = pass_tm_optimize_zero_uses(legacy);
+    ASSERT_TRUE(pass_verify(base).empty()) << "seed " << seed << " base opt";
+    ASSERT_TRUE(pass_tm_lint(base).empty()) << "seed " << seed << " base opt";
+    ASSERT_GE(os_base.removed_tm_loads, oz.removed_tm_loads) << "seed " << seed;
+    beat_the_heuristic +=
+        os_base.removed_tm_loads > oz.removed_tm_loads ? 1 : 0;
+
+    // Alias pipeline: barrier elimination first, then alias-aware mark.
+    // Every stage must stay verifier- and lint-clean.
     Function opt = raw;
+    const RbeStats rbe = pass_tm_rbe(opt);
+    rbe_total += rbe.total();
+    ASSERT_TRUE(pass_verify(opt).empty()) << "seed " << seed << " post-rbe";
+    ASSERT_TRUE(pass_tm_lint(opt).empty()) << "seed " << seed << " post-rbe";
     const MarkStats ms = pass_tm_mark(opt);
     marked_something += (ms.s1r + ms.s2r + ms.sw) != 0 ? 1 : 0;
+    recovered_total += ms.recovered_noalias;
+    skipped_alias += ms.skipped_clobbered;
     ASSERT_TRUE(pass_verify(opt).empty()) << "seed " << seed << " post-mark";
     ASSERT_TRUE(pass_tm_lint(opt).empty()) << "seed " << seed << " post-mark";
-
-    Function legacy = opt;  // marked copy for the baseline optimizer
     const OptimizeStats os = pass_tm_optimize(opt);
-    const OptimizeStats oz = pass_tm_optimize_zero_uses(legacy);
     ASSERT_TRUE(pass_verify(opt).empty()) << "seed " << seed << " post-opt";
     ASSERT_TRUE(pass_tm_lint(opt).empty()) << "seed " << seed << " post-opt";
-    ASSERT_GE(os.removed_tm_loads, oz.removed_tm_loads) << "seed " << seed;
-    ASSERT_EQ(os.removed_tm_loads, opt.count(Op::kTmLoad).dead)
+    // Every dead TM load is accounted for by exactly one killer: a
+    // forwarding (RBE) or the liveness sweep.
+    ASSERT_EQ(os.removed_tm_loads + rbe.load_load_forwarded +
+                  rbe.store_load_forwarded,
+              opt.count(Op::kTmLoad).dead)
         << "seed " << seed;
-    beat_the_heuristic += os.removed_tm_loads > oz.removed_tm_loads ? 1 : 0;
 
     // Soundness: same inputs, same initial memory -> same result, same
-    // final memory. This is what "never removes a read whose result is
-    // read" means observably.
+    // final memory, for both pipelines against the raw function. This is
+    // what "never removes a read whose result is read" and "never drops a
+    // store whose value is observed" mean observably.
     Rng init(seed ^ 0x9E3779B97F4A7C15ULL);
-    TArray<std::int64_t> mem_a(kCells, 0), mem_b(kCells, 0);
+    TArray<std::int64_t> mem_a(kCells, 0), mem_b(kCells, 0), mem_c(kCells, 0);
     for (std::size_t c = 0; c < kCells; ++c) {
       const auto v = static_cast<std::int64_t>(init.below(1 << 20));
       mem_a[c].unsafe_set(v);
       mem_b[c].unsafe_set(v);
+      mem_c[c].unsafe_set(v);
     }
     const std::array<word_t, 4> args_a{to_word(mem_a[0].word()), init.below(50),
                                        init.below(50), init.below(50)};
     std::array<word_t, 4> args_b = args_a;
+    std::array<word_t, 4> args_c = args_a;
     args_b[0] = to_word(mem_b[0].word());
-    ASSERT_EQ(run(raw, args_a), run(opt, args_b)) << "seed " << seed;
+    args_c[0] = to_word(mem_c[0].word());
+    const word_t want = run(raw, args_a);
+    ASSERT_EQ(want, run(base, args_b)) << "seed " << seed;
+    ASSERT_EQ(want, run(opt, args_c)) << "seed " << seed;
     for (std::size_t c = 0; c < kCells; ++c) {
       ASSERT_EQ(mem_a[c].unsafe_get(), mem_b[c].unsafe_get())
-          << "seed " << seed << " cell " << c;
+          << "seed " << seed << " cell " << c << " (baseline)";
+      ASSERT_EQ(mem_a[c].unsafe_get(), mem_c[c].unsafe_get())
+          << "seed " << seed << " cell " << c << " (alias)";
     }
   }
-  // The generator must actually exercise the rewrites, not just survive.
+  // The generator must actually exercise the rewrites, not just survive:
+  // rewrites fire, eliminations fire, the alias oracle recovers rewrites
+  // the baseline refused, and across the corpus the alias pipeline skips
+  // strictly fewer clobbered candidates than the alias-free one.
   EXPECT_GT(marked_something, 50u);
   EXPECT_GT(beat_the_heuristic, 0u);
+  EXPECT_GT(rbe_total, 0u);
+  EXPECT_GT(recovered_total, 0u);
+  EXPECT_LT(skipped_alias, skipped_baseline);
 }
 
 // ---------------------------------------------------------------------------
@@ -259,6 +350,7 @@ PipelineRun run_kernels(const std::string& algo_name, bool optimized) {
   Function center = build_center_update_kernel(kFeatures);
   if (optimized) {
     for (Function* f : {&probe, &insert, &remove, &reserve, &center}) {
+      pass_tm_rbe(*f);
       pass_tm_mark(*f);
       pass_tm_optimize(*f);
     }
@@ -266,11 +358,11 @@ PipelineRun run_kernels(const std::string& algo_name, bool optimized) {
 
   auto algo = make_algorithm(algo_name);
   struct FiberTables {
-    TArray<std::int64_t> states, keys, numfree, price, centers;
-    TVar<std::int64_t> len;
+    // `record` is the center-update record: [len, center[0..kFeatures)].
+    TArray<std::int64_t> states, keys, numfree, price, record;
     FiberTables()
         : states(kCap, 0), keys(kCap, 0), numfree(kRecords, 3),
-          price(kRecords, 0), centers(kFeatures, 0), len(0) {}
+          price(kRecords, 0), record(kFeatures + 1, 0) {}
   };
   std::vector<std::unique_ptr<FiberTables>> tables;
   std::vector<std::unique_ptr<ThreadCtx>> ctxs;
@@ -319,12 +411,11 @@ PipelineRun run_kernels(const std::string& algo_name, bool optimized) {
         }
         case 4: {
           f = &center;
-          args[0] = to_word(tb.len.word());
-          args[1] = to_word(tb.centers[0].word());
+          args[0] = to_word(tb.record[0].word());
           for (unsigned j = 0; j < kFeatures; ++j) {
-            args[2 + j] = rng.below(100);
+            args[1 + j] = rng.below(100);
           }
-          nargs = 2 + kFeatures;
+          nargs = 1 + kFeatures;
           break;
         }
       }
@@ -343,10 +434,9 @@ PipelineRun run_kernels(const std::string& algo_name, bool optimized) {
       out.memory.push_back(tb.numfree[i].unsafe_get());
       out.memory.push_back(tb.price[i].unsafe_get());
     }
-    for (unsigned j = 0; j < kFeatures; ++j) {
-      out.memory.push_back(tb.centers[j].unsafe_get());
+    for (unsigned j = 0; j <= kFeatures; ++j) {
+      out.memory.push_back(tb.record[j].unsafe_get());
     }
-    out.memory.push_back(tb.len.unsafe_get());
     out.commits.push_back(ctxs[t]->tx->stats.commits);
     out.aborts.push_back(ctxs[t]->tx->stats.aborts);
   }

@@ -44,6 +44,8 @@ std::vector<Function> all_kernels() {
 TEST(Verify, AcceptsEveryKernelAtEveryStage) {
   for (Function& f : all_kernels()) {
     EXPECT_TRUE(pass_verify(f).empty()) << f.name << " raw";
+    pass_tm_rbe(f);
+    EXPECT_TRUE(pass_verify(f).empty()) << f.name << " post-rbe";
     pass_tm_mark(f);
     EXPECT_TRUE(pass_verify(f).empty()) << f.name << " marked";
     pass_tm_optimize(f);
@@ -263,6 +265,30 @@ Instr* find_op(Function& f, Op op) {
   return nullptr;
 }
 
+// --- provenance-link structural rules --------------------------------------
+
+TEST(Verify, RejectsProvenanceOutOfRange) {
+  Function f = marked_cmp_function();
+  find_op(f, Op::kTmCmp1)->src_a = 999;
+  EXPECT_TRUE(has_rule(pass_verify(f), "provenance-out-of-range"));
+}
+
+TEST(Verify, RejectsUndefinedProvenance) {
+  Function f = marked_cmp_function();
+  f.num_temps += 1;  // a temp id with no defining instruction
+  find_op(f, Op::kTmCmp1)->src_a =
+      static_cast<std::int32_t>(f.num_temps - 1);
+  EXPECT_TRUE(has_rule(pass_verify(f), "provenance-undefined"));
+}
+
+TEST(Verify, RejectsNonDominatingProvenance) {
+  Function f = marked_cmp_function();
+  // Point the origin load's link at the compare's own result — a
+  // definition that sits later in the block.
+  find_op(f, Op::kTmLoad)->src_a = find_op(f, Op::kTmCmp1)->dst;
+  EXPECT_TRUE(has_rule(pass_verify(f), "provenance-not-dominating"));
+}
+
 TEST(TmLint, CatchesUnmarkedFunction) {
   Function f = marked_cmp_function();
   f.marked = false;
@@ -375,6 +401,238 @@ TEST(TmLint, CatchesImpureValueOperand) {
     }
   }
   EXPECT_TRUE(has_rule(pass_tm_lint(f), "lint-impure-operand"));
+}
+
+// ---------------------------------------------------------------------------
+// pass_tm_rbe: redundant-barrier elimination
+// ---------------------------------------------------------------------------
+
+TEST(TmRbe, ForwardsLoadAfterLoad) {
+  Builder b("llfwd", 1, 0);
+  const auto a = b.arg(0);
+  const auto v1 = b.tm_load(a);
+  const auto v2 = b.tm_load(a);
+  b.ret(b.add(v1, v2));
+  Function f = b.finish();
+  const RbeStats st = pass_tm_rbe(f);
+  EXPECT_EQ(st.load_load_forwarded, 1u);
+  EXPECT_EQ(f.count(Op::kTmLoad).dead, 1u);
+  EXPECT_EQ(f.count(Op::kTmLoad).live, 1u);
+  EXPECT_TRUE(pass_verify(f).empty());
+  EXPECT_TRUE(pass_tm_lint(f).empty());
+}
+
+TEST(TmRbe, ForwardsStoreToLoad) {
+  Builder b("slfwd", 2, 0);
+  const auto a = b.arg(0);
+  b.tm_store(a, b.arg(1));
+  const auto v = b.tm_load(a);
+  b.ret(v);
+  Function f = b.finish();
+  const RbeStats st = pass_tm_rbe(f);
+  EXPECT_EQ(st.store_load_forwarded, 1u);
+  EXPECT_EQ(f.count(Op::kTmLoad).dead, 1u);
+  EXPECT_TRUE(pass_verify(f).empty());
+  EXPECT_TRUE(pass_tm_lint(f).empty());
+  // The return now reads the stored temp directly.
+  for (const Instr& i : f.blocks[0].code) {
+    if (i.op == Op::kRet) EXPECT_EQ(i.a, 1);  // arg(1)'s temp
+  }
+}
+
+TEST(TmRbe, EliminatesOverwrittenStore) {
+  Builder b("dstore", 3, 0);
+  const auto a = b.arg(0);
+  b.tm_store(a, b.arg(1));
+  b.tm_store(a, b.arg(2));
+  b.ret(b.konst(0));
+  Function f = b.finish();
+  const RbeStats st = pass_tm_rbe(f);
+  EXPECT_EQ(st.dead_stores, 1u);
+  EXPECT_EQ(f.count(Op::kTmStore).dead, 1u);
+  EXPECT_EQ(f.count(Op::kTmStore).live, 1u);
+  // The husk links the *later* overwriting store's operands — the verifier
+  // must accept the forward witness, and the lint must re-prove it.
+  EXPECT_TRUE(pass_verify(f).empty());
+  EXPECT_TRUE(pass_tm_lint(f).empty());
+}
+
+TEST(TmRbe, MayAliasWriteBlocksForwarding) {
+  // Two distinct pointer arguments may refer to the same word: the store
+  // through the second must stop both forwarding and dead-store scans.
+  Builder b("mayblock", 2, 0);
+  const auto a = b.arg(0);
+  const auto u = b.arg(1);
+  const auto v1 = b.tm_load(a);
+  b.tm_store(u, b.konst(1));
+  const auto v2 = b.tm_load(a);
+  b.ret(b.add(v1, v2));
+  Function f = b.finish();
+  EXPECT_EQ(pass_tm_rbe(f).total(), 0u);
+  EXPECT_EQ(f.count(Op::kTmLoad).live, 2u);
+}
+
+TEST(TmRbe, ProvenDisjointWriteIsCrossed) {
+  // Same base, different constant offsets: the intervening store provably
+  // cannot touch the reloaded cell, so the reload still forwards.
+  Builder b("disjoint", 2, 0);
+  const auto base = b.arg(0);
+  const auto a1 = b.add(base, b.konst(0));
+  const auto a2 = b.add(base, b.konst(8));
+  const auto v1 = b.tm_load(a1);
+  b.tm_store(a2, b.arg(1));
+  const auto v2 = b.tm_load(a1);
+  b.ret(b.add(v1, v2));
+  Function f = b.finish();
+  const RbeStats st = pass_tm_rbe(f);
+  EXPECT_EQ(st.load_load_forwarded, 1u);
+  EXPECT_TRUE(pass_verify(f).empty());
+  EXPECT_TRUE(pass_tm_lint(f).empty());
+}
+
+TEST(TmRbe, LiveReadBlocksDeadStoreElimination) {
+  // store a; (may-alias store u keeps the reload live); read a; store a —
+  // the first store's value is observed, so it must survive.
+  Builder b("readblock", 3, 0);
+  const auto a = b.arg(0);
+  const auto u = b.arg(1);
+  b.tm_store(a, b.konst(5));
+  b.tm_store(u, b.konst(6));
+  const auto v = b.tm_load(a);
+  b.tm_store(a, b.arg(2));
+  b.ret(v);
+  Function f = b.finish();
+  EXPECT_EQ(pass_tm_rbe(f).total(), 0u);
+  EXPECT_EQ(f.count(Op::kTmStore).live, 3u);
+}
+
+// --- lint re-proof forgeries for claimed eliminations ----------------------
+
+TEST(TmLint, CatchesElimTagOnLiveInstruction) {
+  Function f = marked_cmp_function();
+  find_op(f, Op::kTmLoad)->elim = Elim::kRbeLoadLoad;
+  EXPECT_TRUE(has_rule(pass_tm_lint(f), "lint-rbe-shape"));
+}
+
+TEST(TmLint, CatchesElimTagOnWrongOpcode) {
+  Builder b("wrongop", 0, 0);
+  const auto t = b.konst(7);
+  b.ret(b.konst(0));
+  Function f = b.take();
+  for (Instr& i : f.blocks[0].code) {
+    if (i.op == Op::kConst && i.dst == t) {
+      i.dead = true;
+      i.elim = Elim::kRbeDeadStore;  // a konst is no store
+    }
+  }
+  EXPECT_TRUE(has_rule(pass_tm_lint(f), "lint-rbe-shape"));
+}
+
+TEST(TmLint, CatchesForwardFromWrongAddress) {
+  // Forge a load-load forward whose source read a different cell.
+  Builder b("badfwd", 1, 0);
+  const auto base = b.arg(0);
+  const auto a1 = b.add(base, b.konst(0));
+  const auto a2 = b.add(base, b.konst(8));
+  const auto v1 = b.tm_load(a1);
+  const auto v2 = b.tm_load(a2);
+  b.ret(b.add(v1, v2));
+  Function f = b.finish();
+  EXPECT_EQ(pass_tm_rbe(f).total(), 0u);  // disjoint cells: nothing redundant
+  Instr* first = nullptr;
+  Instr* second = nullptr;
+  for (Instr& i : f.blocks[0].code) {
+    if (i.op != Op::kTmLoad) continue;
+    (first == nullptr ? first : second) = &i;
+  }
+  second->dead = true;
+  second->elim = Elim::kRbeLoadLoad;
+  second->src_a = first->dst;
+  for (Instr& i : f.blocks[0].code) {
+    if (i.op == Op::kAdd && i.b == second->dst) i.b = first->dst;
+  }
+  ASSERT_TRUE(pass_verify(f).empty());
+  EXPECT_TRUE(has_rule(pass_tm_lint(f), "lint-rbe-forward"));
+}
+
+TEST(TmLint, CatchesForwardAcrossClobber) {
+  // Forge a load-load forward across a may-alias store the real pass
+  // refused to cross.
+  Builder b("fclob", 2, 0);
+  const auto a = b.arg(0);
+  const auto u = b.arg(1);
+  const auto v1 = b.tm_load(a);
+  b.tm_store(u, b.konst(1));
+  const auto v2 = b.tm_load(a);
+  b.ret(b.add(v1, v2));
+  Function f = b.finish();
+  EXPECT_EQ(pass_tm_rbe(f).total(), 0u);
+  Instr* first = nullptr;
+  Instr* second = nullptr;
+  for (Instr& i : f.blocks[0].code) {
+    if (i.op != Op::kTmLoad) continue;
+    (first == nullptr ? first : second) = &i;
+  }
+  second->dead = true;
+  second->elim = Elim::kRbeLoadLoad;
+  second->src_a = first->dst;
+  for (Instr& i : f.blocks[0].code) {
+    if (i.op == Op::kAdd && i.b == second->dst) i.b = first->dst;
+  }
+  ASSERT_TRUE(pass_verify(f).empty());
+  EXPECT_TRUE(has_rule(pass_tm_lint(f), "lint-rbe-forward"));
+}
+
+TEST(TmLint, CatchesMissingForwardWitness) {
+  // Legitimate store-to-load forward, then the witness store's value
+  // operand is swapped out from under it.
+  Builder b("nowit", 3, 0);
+  const auto a = b.arg(0);
+  const auto other = b.arg(2);
+  b.tm_store(a, b.arg(1));
+  const auto v = b.tm_load(a);
+  b.ret(v);
+  Function f = b.finish();
+  ASSERT_EQ(pass_tm_rbe(f).store_load_forwarded, 1u);
+  ASSERT_TRUE(pass_tm_lint(f).empty());
+  find_op(f, Op::kTmStore)->b = other;  // not the recorded value temp
+  EXPECT_TRUE(has_rule(pass_tm_lint(f), "lint-rbe-forward"));
+}
+
+TEST(TmLint, CatchesDeadStoreWithObservedValue) {
+  // Forge a dead-store claim over a store whose value a live load reads.
+  Builder b("obsv", 3, 0);
+  const auto a = b.arg(0);
+  b.tm_store(a, b.arg(1));
+  const auto v = b.tm_load(a);
+  b.tm_store(a, b.arg(2));
+  b.ret(v);
+  Function f = b.finish();
+  Instr* first = nullptr;
+  Instr* second = nullptr;
+  for (Instr& i : f.blocks[0].code) {
+    if (i.op != Op::kTmStore) continue;
+    (first == nullptr ? first : second) = &i;
+  }
+  first->dead = true;
+  first->elim = Elim::kRbeDeadStore;
+  first->src_a = second->b;  // the overwriter's operands, as the pass records
+  first->src_b = second->a;
+  ASSERT_TRUE(pass_verify(f).empty());
+  EXPECT_TRUE(has_rule(pass_tm_lint(f), "lint-rbe-dead-store"));
+}
+
+TEST(TmLint, CountsRbeProofObligations) {
+  Function f = build_center_update_kernel(8);
+  const RbeStats rbe = pass_tm_rbe(f);
+  pass_tm_mark(f);
+  pass_tm_optimize(f);
+  LintStats ls;
+  EXPECT_TRUE(pass_tm_lint(f, &ls).empty());
+  EXPECT_EQ(ls.checked_rbe_forwards,
+            rbe.load_load_forwarded + rbe.store_load_forwarded);
+  EXPECT_EQ(ls.checked_rbe_dead_stores, rbe.dead_stores);
+  EXPECT_EQ(ls.checked_rbe_forwards, 1u);  // the trailing length re-read
 }
 
 // ---------------------------------------------------------------------------
